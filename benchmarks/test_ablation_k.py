@@ -1,0 +1,50 @@
+"""Ablation: the per-pin access point quota ``k`` (paper uses k=3).
+
+Sweeps k and reports the AP count, Step 1 runtime and failed pins of
+the full flow.  The paper's design point: k=3 is enough for zero
+failed pins; larger k buys little besides runtime ("too large a number
+of access points will provide excessive options").
+"""
+
+from repro.core import PaafConfig, PinAccessFramework, evaluate_failed_pins
+from repro.report import format_table
+
+from benchmarks.conftest import bench_design, publish
+
+
+def run_with_k(design, k):
+    config = PaafConfig(k=k)
+    result = PinAccessFramework(design, config).run()
+    failed = evaluate_failed_pins(design, result.access_map())
+    return {
+        "k": k,
+        "aps": result.total_access_points,
+        "failed": len(failed),
+        "step1_s": result.timings["step1"],
+    }
+
+
+def test_ablation_k(once):
+    design = bench_design("ispd18_test4")
+    rows = []
+    for k in (1, 2, 3, 5, 8):
+        if k == 3:
+            stats = once(run_with_k, design, k)
+        else:
+            stats = run_with_k(design, k)
+        rows.append(
+            [k, stats["aps"], stats["failed"], f"{stats['step1_s']:.2f}"]
+        )
+    text = format_table(
+        ["k", "Total #APs", "#Failed pins", "Step 1 t(s)"],
+        rows,
+        title="Ablation: access points per pin (paper: k=3)",
+    )
+    publish("ablation_k", text)
+
+    by_k = {row[0]: row for row in rows}
+    # More k -> more APs, monotonically.
+    aps = [row[1] for row in rows]
+    assert aps == sorted(aps)
+    # The paper's operating point achieves zero failed pins.
+    assert by_k[3][2] == 0

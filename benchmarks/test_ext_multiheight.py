@@ -1,0 +1,74 @@
+"""Extension: multi-height cells (the paper's future-work item i).
+
+"Our ongoing work includes: (i) support of multi-height cells in
+advanced FinFET technology nodes" (paper Sec. V).  This bench runs the
+full flow on suite testcases with a share of double-height cells mixed
+in and shows the framework still achieves DRC-clean access for every
+pin -- including the double-height instances that participate in two
+row clusters at once.
+"""
+
+from repro.bench import build_testcase
+from repro.core import PinAccessFramework, evaluate_failed_pins
+from repro.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, publish
+
+
+def run_with_doubles(name, fraction):
+    design = build_testcase(
+        name, scale=BENCH_SCALE, multi_height_fraction=fraction
+    )
+    doubles = sum(
+        1
+        for inst in design.instances.values()
+        if inst.master.height > design.tech.site_height
+    )
+    result = PinAccessFramework(design).run()
+    failed = evaluate_failed_pins(design, result.access_map())
+    return {
+        "design": design,
+        "doubles": doubles,
+        "total_pins": len(design.connected_pins()),
+        "failed": len(failed),
+        "runtime": result.timings["total"],
+    }
+
+
+def test_multiheight_extension(once):
+    rows = []
+    for name, fraction in (
+        ("ispd18_test1", 0.1),
+        ("ispd18_test5", 0.1),
+        ("ispd18_test9", 0.05),
+    ):
+        if name == "ispd18_test5":
+            stats = once(run_with_doubles, name, fraction)
+        else:
+            stats = run_with_doubles(name, fraction)
+        rows.append(
+            [
+                name,
+                stats["doubles"],
+                stats["total_pins"],
+                stats["failed"],
+                f"{stats['runtime']:.2f}",
+            ]
+        )
+        assert stats["doubles"] > 0
+        assert stats["failed"] == 0
+    text = format_table(
+        [
+            "Benchmark",
+            "#Double-height cells",
+            "Total #Pins",
+            "#Failed pins",
+            "t(s)",
+        ],
+        rows,
+        title=(
+            "Extension: multi-height cells (paper future work) -- "
+            "DRC-clean access maintained"
+        ),
+    )
+    publish("ext_multiheight", text)

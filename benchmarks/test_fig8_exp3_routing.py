@@ -1,0 +1,72 @@
+"""Figure 8 / Experiment 3: final routed pin-access DRCs.
+
+Routes the ispd18_test5-like testcase twice with the same router, once
+with Dr. CU 2.0-style pin access (on-track point, no rule-aware via
+model) and once with PAAF's selected access map, then scores the
+routed layout's pin-access DRCs with the DRC engine.
+
+Expected shape (paper: 755 DRCs for Dr. CU 2.0 vs 2 for PAAF on
+ispd18_test5): an orders-of-magnitude gap in favor of PAAF.
+"""
+
+from collections import Counter
+
+from repro.core import PinAccessFramework
+from repro.report import format_table
+from repro.route import DetailedRouter, count_route_drcs
+from repro.route.drcu import drcu_access_map
+
+from benchmarks.conftest import bench_design, publish
+
+
+def route_and_score(design, access_map):
+    result = DetailedRouter(design).route(access_map)
+    drcs = count_route_drcs(design, result, scope="pin-access")
+    return result, drcs
+
+
+def test_fig8_routing_comparison(once):
+    design = bench_design("ispd18_test5")
+
+    drcu_result, drcu_drcs = route_and_score(
+        design, drcu_access_map(design)
+    )
+    paaf_access = PinAccessFramework(design).run().access_map()
+    pao_result, pao_drcs = once(route_and_score, design, paaf_access)
+
+    rows = []
+    for label, result, drcs in (
+        ("Dr. CU 2.0-style", drcu_result, drcu_drcs),
+        ("PAAF (this work)", pao_result, pao_drcs),
+    ):
+        rules = Counter(v.rule for v in drcs)
+        rows.append(
+            [
+                label,
+                result.routed_nets,
+                len(result.failed_nets),
+                result.unconnected_terms,
+                len(drcs),
+                ", ".join(f"{r}:{c}" for r, c in sorted(rules.items()))
+                or "-",
+            ]
+        )
+    text = format_table(
+        [
+            "Access strategy",
+            "#Routed nets",
+            "#Failed nets",
+            "#Unconn terms",
+            "#Pin-access DRCs",
+            "DRC breakdown",
+        ],
+        rows,
+        title=(
+            "Figure 8 / Experiment 3: routed pin access, Dr. CU 2.0-style "
+            "vs PAAF (paper: 755 vs 2 DRCs on ispd18_test5)"
+        ),
+    )
+    publish("fig8_exp3", text)
+
+    assert len(drcu_drcs) >= 10 * max(1, len(pao_drcs))
+    assert len(pao_drcs) <= 10

@@ -1,0 +1,64 @@
+"""Figure 9 / Experiment 3 preliminary study: 14 nm AES.
+
+The paper: PAAF generates and selects DRC-clean access points for all
+57 K instance pins of a 20 K-instance AES core in a commercial 14 nm
+library, in ~9 s, with off-track access enabled automatically.
+
+Here: the synthetic 14 nm AES-like testcase (scaled), asserting the
+same properties -- zero failed pins, off-track accesses present -- and
+benchmarking the full three-step flow.
+"""
+
+import time
+from collections import Counter
+
+from repro.bench import build_aes14
+from repro.core import PinAccessFramework, evaluate_failed_pins
+from repro.core.coords import CoordType
+from repro.report import format_table
+
+from benchmarks.conftest import publish
+
+AES_SCALE = 0.03
+
+
+def run_aes14():
+    design = build_aes14(scale=AES_SCALE)
+    t0 = time.perf_counter()
+    result = PinAccessFramework(design).run()
+    elapsed = time.perf_counter() - t0
+    failed = evaluate_failed_pins(design, result.access_map())
+    return design, result, failed, elapsed
+
+
+def test_fig9_aes_14nm(once):
+    design, result, failed, elapsed = once(run_aes14)
+
+    access_kinds = Counter()
+    for ap in result.access_map().values():
+        on_track = (
+            ap.pref_type is CoordType.ON_TRACK
+            and ap.nonpref_type is CoordType.ON_TRACK
+        )
+        access_kinds["on-track" if on_track else "off-track"] += 1
+
+    text = format_table(
+        [
+            "Metric",
+            "Paper (full scale)",
+            "This run (scaled)",
+        ],
+        [
+            ["#Instances", 20000, design.stats()["num_std_cells"]],
+            ["#Unique instances", 779, result.num_unique_instances],
+            ["#Instance pins", 57000, len(design.connected_pins())],
+            ["#Failed pins", 0, len(failed)],
+            ["Runtime (s)", 9, f"{elapsed:.1f}"],
+            ["Off-track accesses", "enabled", access_kinds["off-track"]],
+        ],
+        title="Figure 9 / Experiment 3b: 14 nm AES preliminary study",
+    )
+    publish("fig9_14nm", text)
+
+    assert failed == []
+    assert access_kinds["off-track"] > 0

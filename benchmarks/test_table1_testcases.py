@@ -1,0 +1,29 @@
+"""Table I: testcase information.
+
+Regenerates the suite summary table (scaled counts) and benchmarks the
+generation of the largest testcase.
+"""
+
+from repro.bench import build_testcase
+from repro.report import render_table1
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    all_testcase_names,
+    bench_design,
+    publish,
+)
+
+
+def test_table1(once):
+    designs = [bench_design(name) for name in all_testcase_names()]
+    text = render_table1(designs)
+    text += (
+        f"\n(scale factor {BENCH_SCALE} of the paper's full-size counts;"
+        " see EXPERIMENTS.md)"
+    )
+    publish("table1", text)
+
+    # Benchmark: generating the largest testcase from scratch.
+    design = once(build_testcase, "ispd18_test10", scale=BENCH_SCALE)
+    assert design.stats()["num_std_cells"] == round(290386 * BENCH_SCALE)

@@ -1,0 +1,71 @@
+"""Table III / Experiment 2: instance pin access quality.
+
+For every testcase: failed pins (pins without a DRC-clean access
+point, intra- and inter-cell) and runtime for the legacy baseline,
+PAAF without boundary-conflict awareness (one pattern per unique
+instance), and full PAAF with BCA (up to three patterns).
+
+Expected shape (paper Table III): the baseline fails thousands of
+pins; w/o BCA leaves a small residue; w/ BCA fails none.
+"""
+
+import time
+
+from repro.core import (
+    LegacyPinAccess,
+    PaafConfig,
+    PinAccessFramework,
+    evaluate_failed_pins,
+)
+from repro.report import render_table3, table3_row
+
+from benchmarks.conftest import all_testcase_names, bench_design, publish
+
+_rows = []
+
+
+def run_experiment2(design):
+    """Run the three setups on one design; return the Table III row."""
+    t0 = time.perf_counter()
+    baseline = LegacyPinAccess(design)
+    baseline_result = baseline.run()
+    baseline_failed = evaluate_failed_pins(
+        design, baseline.access_map(baseline_result)
+    )
+    baseline_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    nobca = PinAccessFramework(design, PaafConfig().without_bca()).run()
+    nobca_failed = evaluate_failed_pins(design, nobca.access_map())
+    nobca_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    bca = PinAccessFramework(design).run()
+    bca_failed = evaluate_failed_pins(design, bca.access_map())
+    bca_time = time.perf_counter() - t0
+
+    return table3_row(
+        design.name,
+        len(design.connected_pins()),
+        len(baseline_failed),
+        len(nobca_failed),
+        len(bca_failed),
+        baseline_time,
+        nobca_time,
+        bca_time,
+    )
+
+
+def test_table3_all_testcases(once):
+    names = all_testcase_names()
+    first_design = bench_design(names[0])
+    _rows.append(once(run_experiment2, first_design))
+    for name in names[1:]:
+        _rows.append(run_experiment2(bench_design(name)))
+    publish("table3_exp2", render_table3(_rows))
+
+    for row in _rows:
+        name, total, base_failed, nobca_failed, bca_failed = row[:5]
+        assert bca_failed == 0, f"{name}: PAAF w/ BCA must fail no pin"
+        assert base_failed >= nobca_failed, name
+    assert sum(row[2] for row in _rows) > 100, "baseline fails many pins"

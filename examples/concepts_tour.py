@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""A tour of the paper's expository figures (Figures 1-7), re-derived.
+
+Each section builds the minimal scenario behind one figure and shows
+the framework reproducing its point: unique-instance signatures,
+access points, the coordinate-type ladder with its min-step outcomes,
+pin ordering, and the two DP graphs.
+"""
+
+from repro import (
+    CellMaster,
+    Design,
+    Instance,
+    MasterPin,
+    Orientation,
+    PinAccessFramework,
+    Point,
+    Rect,
+    make_node,
+    unique_instances,
+)
+from repro.core.patterngen import order_pins
+from repro.core.signature import instance_signature
+from repro.db.tracks import TrackPattern
+from repro.drc import DrcEngine, ShapeContext
+from repro.tech.layer import RoutingDirection
+
+
+def figure1_unique_instances() -> None:
+    """Same master + orientation, different track offsets (Figure 1)."""
+    print("== Figure 1: unique instances ==")
+    tech = make_node("N45")
+    design = Design("fig1", tech)
+    master = CellMaster(name="NAND_X1", width=560, height=1400)
+    pin = MasterPin(name="A")
+    pin.add_shape("M1", Rect(200, 600, 360, 700))
+    master.add_pin(pin)
+    design.add_master(master)
+    # Tracks with a step that does not divide the placement offsets, so
+    # the two instances land at different offsets to the track grid.
+    design.add_track_pattern(
+        TrackPattern(
+            layer_name="M2",
+            direction=RoutingDirection.VERTICAL,
+            start=70,
+            step=120,
+            count=100,
+        )
+    )
+    a = design.add_instance(
+        Instance("u1", master, Point(0, 0), Orientation.R0)
+    )
+    b = design.add_instance(
+        Instance("u2", master, Point(700, 0), Orientation.R0)
+    )
+    for inst in (a, b):
+        print(f"  {inst.name}: signature {instance_signature(design, inst)}")
+    uis = unique_instances(design)
+    print(
+        f"  -> {len(uis)} unique instances (same master, same orientation,"
+        " different x offsets to the M2 tracks)"
+    )
+
+
+def figure3_coordinate_types() -> None:
+    """The coordinate-type ladder and its min-step outcomes (Figure 3)."""
+    print("\n== Figure 3: coordinate types vs min-step ==")
+    tech = make_node("N45")
+    engine = DrcEngine(tech)
+    via = tech.primary_via_from("M1")
+    # A horizontal pin bar slightly taller than the via enclosure, so
+    # only some y positions land the enclosure cleanly.
+    pin = Rect(0, 0, 500, 100)
+    ctx = ShapeContext(bucket=1000)
+    ctx.add("M1", pin, "net")
+    cases = [
+        ("on-track (protruding)", 80),
+        ("half-track (protruding)", 15),
+        ("shape-center", 50),
+        ("enclosure-boundary", 35),
+    ]
+    for label, y in cases:
+        violations = engine.check_via_placement(via, 250, y, "net", ctx)
+        verdict = "DRC-clean" if not violations else (
+            ", ".join(sorted({v.rule for v in violations}))
+        )
+        print(f"  y={y:3d} ({label:24s}): {verdict}")
+
+
+def figure5_pin_ordering() -> None:
+    """Pin ordering by x_avg + alpha * y_avg (Figure 5)."""
+    print("\n== Figure 5: pin ordering ==")
+
+    class _FakeAp:
+        def __init__(self, x, y):
+            self.x, self.y = x, y
+
+    aps_by_pin = {
+        "B": [_FakeAp(300, 900)],
+        "A": [_FakeAp(100, 100)],
+        "Z": [_FakeAp(900, 200)],
+        "C": [_FakeAp(600, 500)],
+    }
+    for alpha in (0.0, 0.3, 2.0):
+        print(f"  alpha={alpha}: {order_pins(aps_by_pin, alpha)}")
+    print("  (the paper uses alpha=0.3: boundary pins stay the x extremes)")
+
+
+def figures6_7_dp_graphs() -> None:
+    """The Step 2 and Step 3 DP graphs (Figures 6 and 7)."""
+    print("\n== Figures 6-7: DP graphs ==")
+    from repro import build_testcase
+
+    design = build_testcase("ispd18_test1", scale=0.005)
+    framework = PinAccessFramework(design)
+    result = framework.run()
+    ua = max(result.unique_accesses, key=lambda u: len(u.aps_by_pin))
+    groups = {
+        pin: len(aps) for pin, aps in ua.aps_by_pin.items() if aps
+    }
+    print(
+        f"  Step 2 graph for {ua.unique_instance.master_name}: "
+        f"{len(groups)} pin groups with vertex counts {groups}"
+    )
+    print(
+        f"  -> {len(ua.patterns)} access patterns generated "
+        f"(costs {[p.cost for p in ua.patterns]})"
+    )
+    clusters = design.row_clusters()
+    biggest = max(clusters, key=len)
+    print(
+        f"  Step 3: {len(clusters)} clusters; largest has "
+        f"{len(biggest)} instances "
+        f"({', '.join(i.master.name for i in biggest[:5])}...)"
+    )
+
+
+def main() -> None:
+    figure1_unique_instances()
+    figure3_coordinate_types()
+    figure5_pin_ordering()
+    figures6_7_dp_graphs()
+
+
+if __name__ == "__main__":
+    main()

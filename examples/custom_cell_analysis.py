@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Analyze pin access for a hand-built standard cell.
+
+Shows the library as a downstream user would adopt it: define a
+technology, a cell master with tricky pin shapes, a tiny placed
+design, and inspect the access points and patterns PAAF produces --
+including which coordinate types the ladder had to fall back to.
+"""
+
+from repro import (
+    CellMaster,
+    Design,
+    Instance,
+    MasterPin,
+    Orientation,
+    PinAccessFramework,
+    Point,
+    Rect,
+    make_node,
+)
+from repro.core.coords import CoordType
+from repro.db.master import PinUse
+from repro.db.net import Net
+from repro.db.tracks import TrackPattern
+from repro.tech.layer import RoutingDirection
+
+
+def build_cell() -> CellMaster:
+    """A 5-site cell with three differently-shaped M1 pins."""
+    master = CellMaster(name="CUSTOM_X1", width=700, height=1400)
+    vss = MasterPin(name="VSS", use=PinUse.GROUND)
+    vss.add_shape("M1", Rect(0, 0, 700, 140))
+    master.add_pin(vss)
+    vdd = MasterPin(name="VDD", use=PinUse.POWER)
+    vdd.add_shape("M1", Rect(0, 1260, 700, 1400))
+    master.add_pin(vdd)
+
+    # A: vertical bar -- x access depends on where tracks fall.
+    a = MasterPin(name="A")
+    a.add_shape("M1", Rect(115, 400, 185, 900))
+    master.add_pin(a)
+    # B: short horizontal bar of exactly enclosure height -- only the
+    # centered y position is min-step clean.
+    b = MasterPin(name="B")
+    b.add_shape("M1", Rect(270, 640, 480, 710))
+    master.add_pin(b)
+    # Z: L-shaped output pin.
+    z = MasterPin(name="Z")
+    z.add_shape("M1", Rect(525, 400, 595, 900))
+    z.add_shape("M1", Rect(455, 400, 595, 470))
+    master.add_pin(z)
+    return master
+
+
+def main() -> None:
+    tech = make_node("N45")
+    design = Design("custom", tech)
+    master = build_cell()
+    design.add_master(master)
+    design.die_area = Rect(0, 0, 7000, 4200)
+    for layer in tech.routing_layers():
+        if layer.is_horizontal:
+            design.add_track_pattern(
+                TrackPattern(layer.name, RoutingDirection.HORIZONTAL,
+                             70, layer.pitch, 40)
+            )
+        else:
+            design.add_track_pattern(
+                TrackPattern(layer.name, RoutingDirection.VERTICAL,
+                             70, layer.pitch, 60)
+            )
+    left = design.add_instance(
+        Instance("u_left", master, Point(1400, 1400), Orientation.R0)
+    )
+    right = design.add_instance(
+        Instance("u_right", master, Point(2100, 1400), Orientation.R0)
+    )
+    for k, (inst, pin) in enumerate(
+        [(left, "A"), (left, "B"), (left, "Z"), (right, "A"), (right, "Z")]
+    ):
+        net = Net(name=f"n{k}")
+        net.add_term(inst.name, pin)
+        design.add_net(net)
+
+    result = PinAccessFramework(design).run()
+    print(f"{result.num_unique_instances} unique instance(s) analyzed\n")
+    for ua in result.unique_accesses:
+        print(f"Unique instance {ua.unique_instance.master_name}:")
+        for pin_name, aps in ua.aps_by_pin.items():
+            print(f"  pin {pin_name}: {len(aps)} access points")
+            for ap in aps:
+                t0 = CoordType(ap.pref_type).name
+                t1 = CoordType(ap.nonpref_type).name
+                print(
+                    f"    ({ap.x}, {ap.y}) pref={t0} nonpref={t1} "
+                    f"via={ap.primary_via} planar={ap.planar_dirs}"
+                )
+        for idx, pattern in enumerate(ua.patterns):
+            aps = {n: (a.x, a.y) for n, a in pattern.aps.items()}
+            print(f"  pattern {idx}: cost={pattern.cost} {aps}")
+
+    failed = result.failed_pins()
+    print(f"\nFailed pins: {failed if failed else 'none'}")
+    sel = result.selection.selection
+    for name in ("u_left", "u_right"):
+        chosen = {n: (a.x, a.y) for n, a in sel[name].access_points().items()}
+        print(f"Selected access for {name}: {chosen}")
+
+
+if __name__ == "__main__":
+    main()

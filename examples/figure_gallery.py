@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 8 / Figure 9-style layout artifacts as SVG.
+
+Writes to examples/output/:
+
+* fig8_drcu.svg / fig8_paaf.svg -- a window of the routed
+  ispd18_test5-like design with dashed DRC markers, Dr. CU-style vs
+  PAAF access (paper Figure 8).
+* fig9_access_14nm.svg -- standard-cell pin accesses at 14 nm with
+  off-track access points (paper Figure 9).
+"""
+
+import pathlib
+import sys
+
+from repro import (
+    DetailedRouter,
+    PinAccessFramework,
+    Rect,
+    build_aes14,
+    build_testcase,
+    count_route_drcs,
+)
+from repro.route.drcu import drcu_access_map
+from repro.viz import render_pin_access, render_routing
+
+OUTPUT = pathlib.Path(__file__).parent / "output"
+
+
+def fig8(scale: float) -> None:
+    design = build_testcase("ispd18_test5", scale=scale)
+    window = _center_window(design, fraction=0.4)
+
+    for label, access in (
+        ("drcu", drcu_access_map(design)),
+        ("paaf", PinAccessFramework(design).run().access_map()),
+    ):
+        result = DetailedRouter(design).route(access)
+        drcs = count_route_drcs(design, result, scope="pin-access")
+        svg = render_routing(design, result, drcs, window=window)
+        path = OUTPUT / f"fig8_{label}.svg"
+        path.write_text(svg)
+        print(f"{path}: {len(drcs)} pin-access DRC markers")
+
+
+def fig9(scale: float) -> None:
+    design = build_aes14(scale=scale)
+    result = PinAccessFramework(design).run()
+    window = _center_window(design, fraction=0.25)
+    svg = render_pin_access(design, result.access_map(), window=window)
+    path = OUTPUT / "fig9_access_14nm.svg"
+    path.write_text(svg)
+    print(f"{path}: pin access view written")
+
+
+def _center_window(design, fraction: float) -> Rect:
+    die = design.die_area
+    w = max(1, int(die.width * fraction))
+    h = max(1, int(die.height * fraction))
+    cx, cy = die.center.as_tuple()
+    return Rect(cx - w // 2, cy - h // 2, cx + w // 2, cy + h // 2)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.004
+    OUTPUT.mkdir(exist_ok=True)
+    fig8(scale)
+    fig9(max(scale * 5, 0.01))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The full LEF/DEF-driven flow on an ISPD-2018-like testcase.
+
+This mirrors how the paper's framework is actually deployed: the
+design arrives as LEF (technology + library) and DEF (placement +
+nets) text, is parsed, analyzed, and the Experiment 1 / Experiment 2
+metrics are reported per testcase.
+
+Usage: python ispd18_flow.py [testcase] [scale]
+"""
+
+import sys
+import time
+
+from repro import (
+    LegacyPinAccess,
+    PaafConfig,
+    PinAccessFramework,
+    build_testcase,
+    evaluate_failed_pins,
+    parse_def,
+    parse_lef,
+    unique_instances,
+    write_def,
+    write_lef,
+)
+from repro.report import render_table2, render_table3, table2_row, table3_row
+
+
+def main() -> None:
+    testcase = sys.argv[1] if len(sys.argv) > 1 else "ispd18_test2"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.01
+
+    # 1. Generate the testcase and round-trip it through LEF/DEF text,
+    #    exactly as a contest run would consume it.
+    generated = build_testcase(testcase, scale=scale)
+    lef_text = write_lef(generated.tech, list(generated.masters.values()))
+    def_text = write_def(generated)
+    print(f"{testcase}: LEF {len(lef_text)} bytes, DEF {len(def_text)} bytes")
+
+    tech, masters = parse_lef(lef_text, name=generated.tech.name)
+    design = parse_def(def_text, tech, masters)
+    print(f"Parsed {design}")
+
+    # 2. Experiment 1: unique-instance access point quality.
+    t0 = time.perf_counter()
+    baseline = LegacyPinAccess(design)
+    baseline_result = baseline.run()
+    baseline_time = time.perf_counter() - t0
+
+    framework = PinAccessFramework(design)
+    paaf_result = framework.run_step1()
+
+    print()
+    print(
+        render_table2(
+            [
+                table2_row(
+                    design.name,
+                    len(unique_instances(design)),
+                    baseline_result.total_access_points,
+                    paaf_result.total_access_points,
+                    baseline_result.count_dirty_aps(),
+                    paaf_result.count_dirty_aps(),
+                    baseline_time,
+                    paaf_result.timings["step1"],
+                )
+            ]
+        )
+    )
+
+    # 3. Experiment 2: full-flow failed pins, with and without BCA.
+    t0 = time.perf_counter()
+    full = PinAccessFramework(design).run()
+    bca_time = time.perf_counter() - t0
+    bca_failed = evaluate_failed_pins(design, full.access_map())
+
+    t0 = time.perf_counter()
+    nobca = PinAccessFramework(design, PaafConfig().without_bca()).run()
+    nobca_time = time.perf_counter() - t0
+    nobca_failed = evaluate_failed_pins(design, nobca.access_map())
+
+    baseline_failed = evaluate_failed_pins(
+        design, baseline.access_map(baseline_result)
+    )
+
+    print()
+    print(
+        render_table3(
+            [
+                table3_row(
+                    design.name,
+                    len(design.connected_pins()),
+                    len(baseline_failed),
+                    len(nobca_failed),
+                    len(bca_failed),
+                    baseline_time,
+                    nobca_time,
+                    bca_time,
+                )
+            ]
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

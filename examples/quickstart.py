@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: run the pin access framework on a generated testcase.
+
+Builds a scaled ispd18_test1-like design, runs the three-step PAAF
+flow, and prints the headline numbers the paper reports: access points
+generated (all DRC-clean) and pins left without a clean access point
+(none, with boundary-conflict awareness on).
+"""
+
+from repro import (
+    LegacyPinAccess,
+    PinAccessFramework,
+    build_testcase,
+    evaluate_failed_pins,
+)
+
+
+def main() -> None:
+    design = build_testcase("ispd18_test1", scale=0.01)
+    stats = design.stats()
+    print(
+        f"Design {stats['name']}: {stats['num_std_cells']} std cells, "
+        f"{stats['num_nets']} nets, node {stats['node']}"
+    )
+
+    framework = PinAccessFramework(design)
+    result = framework.run()
+    failed = evaluate_failed_pins(design, result.access_map())
+    print(
+        f"PAAF: {result.num_unique_instances} unique instances, "
+        f"{result.total_access_points} access points "
+        f"({result.count_dirty_aps()} dirty), "
+        f"{len(failed)} failed pins, "
+        f"{result.timings['total']:.2f}s"
+    )
+
+    baseline = LegacyPinAccess(design)
+    baseline_result = baseline.run()
+    baseline_failed = evaluate_failed_pins(
+        design, baseline.access_map(baseline_result)
+    )
+    print(
+        f"Legacy baseline: {baseline_result.total_access_points} access "
+        f"points ({baseline_result.count_dirty_aps()} dirty), "
+        f"{len(baseline_failed)} failed pins"
+    )
+
+    total = len(design.connected_pins())
+    print(
+        f"Summary: PAAF gives DRC-clean access to all {total} connected "
+        f"pins; the legacy flow fails "
+        f"{100.0 * len(baseline_failed) / total:.0f}% of them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim for legacy editable installs (no network, no wheel pkg)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PAO: a pin access oracle for detailed routing (DAC 2020 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

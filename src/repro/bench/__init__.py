@@ -1,0 +1,30 @@
+"""Synthetic benchmark suite generation.
+
+The paper evaluates on the ISPD-2018 initial detailed routing contest
+suite (proprietary-derived industrial designs) and, for Experiment 3's
+preliminary study, a commercial 14 nm library with an OpenCores AES
+netlist.  Neither is redistributable, so this package generates
+*structurally equivalent* synthetic designs: same per-testcase cell /
+macro / net / IO-pin counts (scaled), same technology nodes and layer
+counts, standard-cell libraries whose pin shapes span the full
+coordinate-type ladder (on-track through enclosure-boundary access),
+and row/track structure that reproduces the unique-instance diversity
+mechanism (site-to-track misalignment).
+
+Everything is seeded and deterministic.
+"""
+
+from repro.bench.stdcells import StdCellLibrary, build_library
+from repro.bench.netlist import NetlistBuilder
+from repro.bench.ispd18 import ISPD18_TESTCASES, TestcaseSpec, build_testcase
+from repro.bench.aes14 import build_aes14
+
+__all__ = [
+    "StdCellLibrary",
+    "build_library",
+    "NetlistBuilder",
+    "ISPD18_TESTCASES",
+    "TestcaseSpec",
+    "build_testcase",
+    "build_aes14",
+]

@@ -1,0 +1,34 @@
+"""The 14 nm AES-like testcase (paper Experiment 3, Figure 9).
+
+The paper's preliminary 14 nm study runs PAAF on the OpenCores AES
+core mapped to a commercial 14 nm library: 20 K instances, 779 unique
+instances, 57 K instance pins, DRC-clean access in ~9 s.  Neither the
+library nor the mapped netlist is redistributable, so this module
+generates a structurally matched stand-in on the N14 preset:
+misaligned vertical tracks (14 nm-class gear ratios between site and
+track grids) multiply unique instances, and off-track pin access is
+exercised throughout -- the property Figure 9 illustrates.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ispd18 import TestcaseSpec, build_testcase
+
+
+AES14_SPEC = TestcaseSpec(
+    name="aes_14nm",
+    node="N14",
+    std_cells=20000,
+    macros=0,
+    nets=18000,
+    io_pins=390,
+    die_w_mm=0.12,
+    die_h_mm=0.12,
+    misaligned_tracks=True,
+    seed=14,
+)
+
+
+def build_aes14(scale: float = 0.05):
+    """Generate the scaled 14 nm AES-like design."""
+    return build_testcase(AES14_SPEC, scale=scale)

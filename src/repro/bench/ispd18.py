@@ -1,0 +1,367 @@
+"""ISPD-2018-like testcase generation (paper Table I).
+
+Each spec mirrors one row of Table I: standard cell / macro / net / IO
+pin counts, technology node and die size.  ``build_testcase`` scales
+the counts by a factor (default 1/100) because a pure-Python flow
+cannot chew 290 K cells in reasonable time; the *structure* -- node,
+layers, utilization, row/track geometry, unique-instance diversity --
+is preserved.
+
+The 32 nm testcases 4-6 are generated with vertical routing tracks
+misaligned to the placement site grid (track step = 1.2 x site width),
+which is the mechanism that multiplies unique instances in the real
+suite (the paper's Figure 1); the other testcases use aligned tracks
+and correspondingly few unique instances, matching the pattern of the
+paper's Table II #Unique Inst column.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.netlist import NetlistBuilder
+from repro.bench.stdcells import build_library
+from repro.db.design import Design, Row
+from repro.db.inst import Instance
+from repro.db.tracks import TrackPattern
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.geom.transform import Orientation
+from repro.tech.layer import RoutingDirection
+from repro.tech.nodes import make_node
+
+
+@dataclass(frozen=True)
+class TestcaseSpec:
+    """One Table I row (full-scale counts)."""
+
+    name: str
+    node: str
+    std_cells: int
+    macros: int
+    nets: int
+    io_pins: int
+    die_w_mm: float
+    die_h_mm: float
+    misaligned_tracks: bool = False
+    seed: int = 2018
+
+
+ISPD18_TESTCASES = [
+    TestcaseSpec("ispd18_test1", "N45", 8879, 0, 3153, 0, 0.20, 0.19),
+    TestcaseSpec("ispd18_test2", "N45", 35913, 0, 36834, 1211, 0.65, 0.57),
+    TestcaseSpec("ispd18_test3", "N45", 35973, 4, 36700, 1211, 0.99, 0.70),
+    TestcaseSpec(
+        "ispd18_test4", "N32", 72094, 0, 72401, 1211, 0.89, 0.61, True
+    ),
+    TestcaseSpec(
+        "ispd18_test5", "N32", 71954, 0, 72394, 1211, 0.93, 0.92, True
+    ),
+    TestcaseSpec(
+        "ispd18_test6", "N32", 107919, 0, 107701, 1211, 0.86, 0.53, True
+    ),
+    TestcaseSpec("ispd18_test7", "N32", 179865, 16, 179863, 1211, 1.36, 1.33),
+    TestcaseSpec("ispd18_test8", "N32", 191987, 16, 179863, 1211, 1.36, 1.33),
+    TestcaseSpec("ispd18_test9", "N32", 192911, 0, 178857, 1211, 0.91, 0.78),
+    TestcaseSpec("ispd18_test10", "N32", 290386, 0, 182000, 1211, 0.91, 0.87),
+]
+
+DEFAULT_SCALE = 0.01
+
+
+def testcase_spec(name: str) -> TestcaseSpec:
+    """Return the spec named ``name``."""
+    for spec in ISPD18_TESTCASES:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no testcase named {name!r}")
+
+
+def build_testcase(
+    spec,
+    scale: float = DEFAULT_SCALE,
+    utilization: float = 0.7,
+    multi_height_fraction: float = 0.0,
+) -> Design:
+    """Generate the scaled synthetic design for ``spec``.
+
+    ``spec`` may be a :class:`TestcaseSpec` or a testcase name.
+    ``multi_height_fraction`` mixes that share of double-height cells
+    into the population (the paper's future-work extension); they are
+    placed on even rows and span two rows.
+    """
+    if isinstance(spec, str):
+        spec = testcase_spec(spec)
+    rng = random.Random(f"{spec.name}:{spec.seed}")
+    tech = make_node(spec.node)
+    num_std = max(20, round(spec.std_cells * scale))
+    num_macros = spec.macros if spec.macros <= 4 else max(
+        1, round(spec.macros * max(scale * 10, 0.25))
+    )
+    if spec.macros == 0:
+        num_macros = 0
+    num_io = max(4, round(spec.io_pins * scale)) if spec.io_pins else 0
+
+    library = build_library(
+        tech,
+        seed=spec.seed,
+        num_macros=max(num_macros, 1),
+        multi_height=multi_height_fraction > 0,
+    )
+    design = Design(name=spec.name, tech=tech)
+    for master in library.all_masters():
+        design.add_master(master)
+
+    _place(
+        design, library, rng, num_std, num_macros, spec, utilization,
+        multi_height_fraction,
+    )
+    _add_tracks(design, spec)
+    NetlistBuilder(design, seed=spec.seed).build(
+        target_nets=None, num_io_pins=num_io
+    )
+    return design
+
+
+# -- placement ----------------------------------------------------------------
+
+
+def _place(
+    design, library, rng, num_std, num_macros, spec, utilization,
+    multi_height_fraction=0.0,
+):
+    tech = design.tech
+    site_w = tech.site_width
+    site_h = tech.site_height
+
+    # Pick the cell population up front so the die can be sized to it.
+    single = [m for m in library.masters if m.height == site_h]
+    double = [m for m in library.masters if m.height == 2 * site_h]
+    weights = [1.0 / (i + 1) for i in range(len(single))]
+    population = rng.choices(single, weights=weights, k=num_std)
+    if double and multi_height_fraction > 0:
+        num_double = max(1, round(num_std * multi_height_fraction))
+        for idx in range(num_double):
+            population[(idx * 7) % len(population)] = double[
+                idx % len(double)
+            ]
+    total_sites = sum(
+        -(-m.width // site_w) * (m.height // site_h) for m in population
+    )
+
+    aspect = spec.die_w_mm / spec.die_h_mm
+    area_sites = total_sites / utilization
+    # rows * sites_per_row = area_sites; sites_per_row * site_w /
+    # (rows * site_h) = aspect.
+    rows = max(2, round((area_sites * site_w / (aspect * site_h)) ** 0.5))
+    sites_per_row = max(10, -(-int(area_sites) // rows))
+    # Core-area inset: IO pins sit on the die boundary, so the cell
+    # rows start a few sites in (like the core ring of a real floorplan).
+    core_inset = 4 * site_w
+    die = Rect(
+        0,
+        0,
+        sites_per_row * site_w + 2 * core_inset,
+        rows * site_h + 2 * core_inset,
+    )
+    design.die_area = die
+    design.core_origin = Point(core_inset, core_inset)
+
+    blocked = _place_macros(
+        design, library, rng, num_macros, rows, sites_per_row, core_inset
+    )
+
+    for r in range(rows):
+        orient = Orientation.R0 if r % 2 == 0 else Orientation.MX
+        row = Row(
+            name=f"row_{r}",
+            origin=Point(core_inset, core_inset + r * site_h),
+            orient=orient,
+            count=sites_per_row,
+            site_width=site_w,
+            site_height=site_h,
+        )
+        design.add_row(row)
+
+    idx = 0
+    placed = 0
+    for r in range(rows):
+        if placed >= len(population):
+            break
+        orient = Orientation.R0 if r % 2 == 0 else Orientation.MX
+        cursor = 0
+        while cursor < sites_per_row and placed < len(population):
+            if (r, cursor) in blocked:
+                cursor += 1
+                continue
+            if rng.random() < 0.25:
+                cursor += 1 + rng.randrange(3)
+                continue
+            master = population[placed]
+            width_sites = -(-master.width // site_w)
+            height_rows = master.height // site_h
+            if cursor + width_sites > sites_per_row:
+                break
+            if any((r, cursor + s) in blocked for s in range(width_sites)):
+                cursor += 1
+                continue
+            if height_rows > 1:
+                # Double-height cells start on even (R0) rows so their
+                # VSS-VDD-VSS rails line up, and reserve the row above.
+                if r % 2 != 0 or r + height_rows > rows:
+                    cursor += 1
+                    continue
+                if any(
+                    (r + extra, cursor + s) in blocked
+                    for extra in range(1, height_rows)
+                    for s in range(width_sites)
+                ):
+                    cursor += 1
+                    continue
+            inst = Instance(
+                name=f"inst_{placed + 1}",
+                master=master,
+                location=Point(
+                    core_inset + cursor * site_w, core_inset + r * site_h
+                ),
+                orient=orient,
+            )
+            design.add_instance(inst)
+            for extra in range(1, height_rows):
+                for s in range(width_sites):
+                    blocked.add((r + extra, cursor + s))
+            placed += 1
+            cursor += width_sites
+    # If the die filled up before the population ran out, extend the
+    # remaining cells into fresh rows above (rare with the default
+    # utilization, but keeps counts exact).
+    row_idx = rows
+    while placed < len(population):
+        orient = Orientation.R0 if row_idx % 2 == 0 else Orientation.MX
+        cursor = 0
+        progressed = False
+        while cursor < sites_per_row and placed < len(population):
+            master = population[placed]
+            width_sites = -(-master.width // site_w)
+            height_rows = master.height // site_h
+            if cursor + width_sites > sites_per_row:
+                break
+            if any(
+                (row_idx + extra, cursor + s) in blocked
+                for extra in range(height_rows)
+                for s in range(width_sites)
+            ):
+                cursor += 1
+                continue
+            if height_rows > 1 and row_idx % 2 != 0:
+                # Double-height cells only start on even (R0) rows;
+                # defer this cell by swapping it with the next
+                # single-height one, if any.
+                swap = next(
+                    (
+                        k
+                        for k in range(placed + 1, len(population))
+                        if population[k].height == site_h
+                    ),
+                    None,
+                )
+                if swap is None:
+                    break
+                population[placed], population[swap] = (
+                    population[swap],
+                    population[placed],
+                )
+                continue
+            inst = Instance(
+                name=f"inst_{placed + 1}",
+                master=master,
+                location=Point(
+                    core_inset + cursor * site_w, core_inset + row_idx * site_h
+                ),
+                orient=orient,
+            )
+            design.add_instance(inst)
+            for extra in range(1, height_rows):
+                for s in range(width_sites):
+                    blocked.add((row_idx + extra, cursor + s))
+            placed += 1
+            progressed = True
+            cursor += width_sites + (1 if rng.random() < 0.25 else 0)
+        if not progressed and cursor >= sites_per_row:
+            pass
+        row_idx += 1
+    if row_idx > rows:
+        design.die_area = Rect(
+            0, 0, die.xhi, row_idx * site_h + 2 * core_inset
+        )
+
+
+def _place_macros(
+    design, library, rng, num_macros, rows, sites_per_row, core_inset
+) -> set:
+    """Place macros bottom-left, returning the blocked (row, site) set."""
+    blocked = set()
+    if num_macros <= 0:
+        return blocked
+    tech = design.tech
+    site_w, site_h = tech.site_width, tech.site_height
+    macro_master = library.macros[0]
+    mw_sites = -(-macro_master.width // site_w)
+    mh_rows = -(-macro_master.height // site_h)
+    cursor_row = 0
+    cursor_site = 0
+    for i in range(num_macros):
+        if cursor_site + mw_sites > sites_per_row:
+            cursor_site = 0
+            cursor_row += mh_rows
+        if cursor_row + mh_rows > rows:
+            break
+        inst = Instance(
+            name=f"macro_{i + 1}",
+            master=macro_master,
+            location=Point(
+                core_inset + cursor_site * site_w,
+                core_inset + cursor_row * site_h,
+            ),
+            orient=Orientation.R0,
+        )
+        design.add_instance(inst)
+        for r in range(cursor_row, cursor_row + mh_rows):
+            for s in range(cursor_site, cursor_site + mw_sites):
+                blocked.add((r, s))
+        cursor_site += mw_sites + 2
+    return blocked
+
+
+# -- tracks --------------------------------------------------------------------
+
+
+def _add_tracks(design: Design, spec) -> None:
+    """Create one track pattern per routing layer.
+
+    Vertical-layer track steps are stretched to 1.2x pitch for the
+    misaligned testcases (the unique-instance diversity mechanism).
+    """
+    tech = design.tech
+    die = design.die_area
+    for layer in tech.routing_layers():
+        if layer.is_horizontal:
+            step = layer.pitch
+            start = die.ylo + layer.offset
+            count = max(1, (die.yhi - start) // step + 1)
+        else:
+            step = layer.pitch
+            if spec.misaligned_tracks:
+                step = layer.pitch + layer.pitch // 5
+            start = die.xlo + layer.offset
+            count = max(1, (die.xhi - start) // step + 1)
+        design.add_track_pattern(
+            TrackPattern(
+                layer_name=layer.name,
+                direction=layer.direction,
+                start=start,
+                step=step,
+                count=count,
+            )
+        )

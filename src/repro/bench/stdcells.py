@@ -1,0 +1,355 @@
+"""Synthetic standard-cell library generator.
+
+Cells are single-height with M1 power rails top and bottom and M1
+signal pins laid out on *slots* spaced 1.5 metal pitches apart, which
+keeps intra-cell vias pairwise legal while leaving the boundary pins
+close enough to the cell edges that abutting instances can conflict --
+the inter-cell tension Steps 2 and 3 of the paper exist to resolve.
+
+Pin shapes cycle through archetypes chosen to span the coordinate-type
+ladder:
+
+* ``vbar``   -- narrow vertical bar: x access often needs shape-center.
+* ``hthin``  -- bar of exactly via-enclosure height: only the centered
+  y position is min-step clean.
+* ``hmid``   -- slightly taller bar: on/half-track y usually dirty,
+  shape-center / enclosure-boundary clean (paper Figure 3).
+* ``htall``  -- two-width-tall bar: some track position always works.
+* ``lshape`` -- L of a vbar and an hthin foot.
+* ``tshape`` -- T of an htall crossed by a vbar.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.db.master import CellMaster, MasterPin, Obstruction, PinUse
+from repro.geom.rect import Rect
+from repro.tech.technology import Technology
+
+ARCHETYPES = ("vbar", "hthin", "hmid", "htall", "lshape", "tshape")
+
+# (base name, number of input pins, height in rows); double-height
+# cells are the paper's future-work item (i), supported here.
+_MULTI_HEIGHT_MENU = [
+    ("DFFH", 3),
+    ("SDFFH", 5),
+    ("BUFH", 1),
+]
+
+# (base name, number of input pins); every cell also gets one output.
+_CELL_MENU = [
+    ("INV", 1),
+    ("BUF", 1),
+    ("NAND2", 2),
+    ("NOR2", 2),
+    ("AND2", 2),
+    ("OR2", 2),
+    ("XOR2", 2),
+    ("XNOR2", 2),
+    ("NAND3", 3),
+    ("NOR3", 3),
+    ("AOI21", 3),
+    ("OAI21", 3),
+    ("MUX2", 3),
+    ("AOI22", 4),
+    ("OAI22", 4),
+    ("DFF", 3),
+    ("SDFF", 5),
+]
+_DRIVES = ("X1", "X2", "X4")
+
+
+@dataclass
+class StdCellLibrary:
+    """A generated library bound to one technology."""
+
+    tech: Technology
+    masters: list = field(default_factory=list)
+    macros: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name = {m.name: m for m in self.masters + self.macros}
+
+    def master(self, name: str) -> CellMaster:
+        """Return the master named ``name``."""
+        return self._by_name[name]
+
+    def all_masters(self) -> list:
+        """Return standard cells then macros."""
+        return self.masters + self.macros
+
+
+def build_library(
+    tech: Technology,
+    seed: int = 1,
+    num_masters: int = None,
+    num_macros: int = 1,
+    multi_height: bool = False,
+) -> StdCellLibrary:
+    """Generate a deterministic library for ``tech``.
+
+    ``num_masters`` defaults to the full menu x drive strengths
+    (51 cells); macros are added for the testcases that need them.
+    With ``multi_height`` on, three double-height masters (``*_2H``)
+    join the library -- the advanced-node cells the paper lists as
+    future work.
+    """
+    masters = []
+    for base, num_inputs in _CELL_MENU:
+        for drive in _DRIVES:
+            name = f"{base}_{drive}"
+            masters.append(
+                _build_std_master(tech, name, num_inputs, seed)
+            )
+    if num_masters is not None:
+        masters = masters[:num_masters]
+    if multi_height:
+        for base, num_inputs in _MULTI_HEIGHT_MENU:
+            masters.append(
+                _build_std_master(
+                    tech, f"{base}_2H", num_inputs, seed, heights=2
+                )
+            )
+    macros = [
+        _build_macro_master(tech, f"MACRO_{i + 1}", seed + i)
+        for i in range(num_macros)
+    ]
+    return StdCellLibrary(tech=tech, masters=masters, macros=macros)
+
+
+# -- standard cells ----------------------------------------------------------
+
+
+def _build_std_master(
+    tech: Technology, name: str, num_inputs: int, seed: int, heights: int = 1
+) -> CellMaster:
+    rng = random.Random(f"{tech.name}:{name}:{seed}")
+    m1 = tech.layer("M1")
+    p = m1.pitch
+    w = m1.width
+    site = tech.site_width
+    height = heights * tech.site_height
+
+    # Edge margin: abutting cells' pin *shapes* must be mutually clean
+    # (gap 2*margin covers both spacing and EOL), while vias near the
+    # boundary may still conflict with the neighbor's shapes or vias --
+    # that residual tension is exactly what Steps 2/3 resolve.  Real
+    # libraries satisfy the same shape-level property by construction.
+    eol_space = m1.eol.eol_space if m1.eol else m1.min_spacing
+    margin = _snap(eol_space // 2 + 5, 10)
+
+    # Slot spacing keeps adjacent pin shapes (up to one pitch of
+    # half-width each) spacing- and EOL-clean against each other, while
+    # leaving adjacent *vias* able to conflict for the DP to resolve.
+    slot = _snap(2 * p + eol_space + 10, 10)
+    num_pins = num_inputs + 1
+    span = 2 * (margin + p) + (num_pins - 1) * slot
+    width = -(-span // site) * site       # ceil to whole sites
+    # Spread: boundary pins hug the margins (their access points sit
+    # near the cell edge), interior pins evenly between.
+    if num_pins == 1:
+        xs = [width // 2]
+    else:
+        first = margin + p
+        last = width - margin - p
+        xs = [
+            first + _snap(i * (last - first) / (num_pins - 1), 10)
+            for i in range(num_pins)
+        ]
+
+    master = CellMaster(
+        name=name, width=width, height=height, site_name=tech.site_name
+    )
+    _add_rails(master, tech, width, height, heights)
+
+    input_names = [f"A{i + 1}" if num_inputs > 1 else "A" for i in range(num_inputs)]
+    if name.startswith(("DFF", "SDFF")):
+        input_names = ["D", "CK", "SI", "SE", "RN"][:num_inputs]
+    pin_names = input_names + ["ZN"]
+    y_levels = _y_levels(tech, rng, heights)
+    wide_archetypes = ("hthin", "hmid", "htall", "tshape")
+    for idx, (pin_name, xc) in enumerate(zip(pin_names, xs)):
+        if idx in (0, num_pins - 1):
+            # Boundary pins always get a wide (two-track) archetype so
+            # their access points offer x alternatives -- the property
+            # Step 3 needs to resolve abutment conflicts, and one real
+            # libraries provide on cells meant to abut.
+            archetype = wide_archetypes[rng.randrange(len(wide_archetypes))]
+        else:
+            archetype = ARCHETYPES[rng.randrange(len(ARCHETYPES))]
+        yc = y_levels[idx % len(y_levels)]
+        pin = MasterPin(name=pin_name, use=PinUse.SIGNAL)
+        for rect in _pin_shape(
+            tech, archetype, xc, yc, width, height, margin, heights
+        ):
+            pin.add_shape("M1", rect)
+        master.add_pin(pin)
+    return master
+
+
+def _add_rails(
+    master: CellMaster, tech: Technology, width: int, height: int,
+    heights: int = 1,
+) -> None:
+    """Add alternating VSS/VDD M1 rails at every row boundary.
+
+    Single-height: VSS at the bottom, VDD at the top.  A 2x-height
+    cell placed on an R0 (VSS-down) row sees VSS-VDD-VSS, which is why
+    double-height cells only legally start on even rows.
+    """
+    w = tech.layer("M1").width
+    site_h = height // heights
+    vss = MasterPin(name="VSS", use=PinUse.GROUND)
+    vdd = MasterPin(name="VDD", use=PinUse.POWER)
+    for level in range(heights + 1):
+        y = level * site_h
+        rail = vss if level % 2 == 0 else vdd
+        if level == 0:
+            rect = Rect(0, 0, width, 2 * w)
+        elif level == heights:
+            rect = Rect(0, height - 2 * w, width, height)
+        else:
+            rect = Rect(0, y - w, width, y + w)
+        rail.add_shape("M1", rect)
+    master.add_pin(vss)
+    master.add_pin(vdd)
+
+
+def _y_levels(tech: Technology, rng: random.Random, heights: int = 1) -> list:
+    """Return shuffled candidate pin-center y levels inside the cell.
+
+    Multi-height cells get levels in every row band, each band keeping
+    clear of its bounding rails (including the mid-cell rail).
+    """
+    p = tech.layer("M1").pitch
+    w = tech.layer("M1").width
+    height = tech.site_height
+    lo = 3 * w + p // 2
+    hi = height - 3 * w - p // 2
+    levels = []
+    for band in range(heights):
+        y = lo
+        while y <= hi:
+            levels.append(band * height + _snap(y, 10))
+            y += p // 2 + 10
+    rng.shuffle(levels)
+    return levels or [heights * height // 2]
+
+
+def _pin_shape(
+    tech: Technology,
+    archetype: str,
+    xc: int,
+    yc: int,
+    width: int,
+    height: int,
+    margin: int,
+    heights: int = 1,
+) -> list:
+    """Return the rect list for one pin archetype centered near (xc, yc).
+
+    All rects are clamped into ``[margin, width - margin]`` in x so no
+    via enclosure dropped on the pin can leak closer than half a
+    spacing to the cell edge.
+    """
+    m1 = tech.layer("M1")
+    p, w = m1.pitch, m1.width
+    half_w = w // 2
+    yc = _clamp_y(tech, yc, archetype, heights)
+    if archetype == "vbar":
+        rects = [
+            Rect(xc - half_w, yc - 3 * p // 2, xc + half_w, yc + 3 * p // 2)
+        ]
+    elif archetype == "hthin":
+        rects = [Rect(xc - p, yc - half_w, xc + p, yc + half_w)]
+    elif archetype == "hmid":
+        h = _snap(w + p // 5, 10)
+        rects = [Rect(xc - p, yc - h // 2, xc + p, yc - h // 2 + h)]
+    elif archetype == "htall":
+        rects = [Rect(xc - p, yc - w, xc + p, yc + w)]
+    elif archetype == "lshape":
+        rects = [
+            Rect(xc - half_w, yc - 3 * p // 2, xc + half_w, yc + 3 * p // 2),
+            Rect(xc - p, yc - 3 * p // 2, xc + p, yc - 3 * p // 2 + w),
+        ]
+    elif archetype == "tshape":
+        rects = [
+            Rect(xc - p, yc - w, xc + p, yc + w),
+            Rect(xc - half_w, yc - w, xc + half_w, yc + 3 * p // 2),
+        ]
+    else:
+        raise ValueError(f"unknown archetype {archetype!r}")
+    return [_clamp_x(r, margin, width - margin, w) for r in rects]
+
+
+def _clamp_x(rect: Rect, lo: int, hi: int, min_width: int) -> Rect:
+    """Clamp a rect's x span into [lo, hi], keeping at least min_width."""
+    xlo = max(rect.xlo, lo)
+    xhi = min(rect.xhi, hi)
+    if xhi - xlo < min_width:
+        center = max(lo + min_width // 2, min((xlo + xhi) // 2, hi - min_width // 2))
+        xlo = center - min_width // 2
+        xhi = xlo + min_width
+    return Rect(xlo, rect.ylo, xhi, rect.yhi)
+
+
+def _clamp_y(
+    tech: Technology, yc: int, archetype: str, heights: int = 1
+) -> int:
+    """Keep the pin extent inside the signal region of its row band.
+
+    Multi-height cells clamp per band, so shapes never touch the
+    mid-cell power rail either.
+    """
+    p = tech.layer("M1").pitch
+    w = tech.layer("M1").width
+    height = tech.site_height
+    extent = 3 * p // 2 + w if archetype in ("vbar", "lshape", "tshape") else 2 * w
+    lo = 2 * w + w + extent          # rail + spacing + half shape
+    hi = height - lo
+    band = max(0, min(heights - 1, yc // height))
+    rel = yc - band * height
+    return band * height + max(lo, min(hi, rel))
+
+
+# -- macros ------------------------------------------------------------------
+
+
+def _build_macro_master(tech: Technology, name: str, seed: int) -> CellMaster:
+    """Build a block macro: M3 boundary pins, M1/M2 obstruction core."""
+    rng = random.Random(f"{tech.name}:{name}:{seed}")
+    m3 = tech.layer("M3")
+    p = m3.pitch
+    w = m3.width
+    width = 40 * tech.site_width
+    height = 8 * tech.site_height
+    master = CellMaster(
+        name=name, width=width, height=height, is_macro=True
+    )
+    num_pins = 8 + rng.randrange(5)
+    for i in range(num_pins):
+        yc = _snap(height // (num_pins + 1) * (i + 1), 10)
+        pin = MasterPin(name=f"P{i + 1}", use=PinUse.SIGNAL)
+        pin.add_shape("M3", Rect(0, yc - w, 3 * p, yc + w))
+        master.add_pin(pin)
+    core_margin = 4 * p
+    for layer_name in ("M1", "M2"):
+        master.add_obstruction(
+            Obstruction(
+                layer_name=layer_name,
+                rect=Rect(
+                    core_margin,
+                    core_margin,
+                    width - core_margin,
+                    height - core_margin,
+                ),
+            )
+        )
+    return master
+
+
+def _snap(value, grid: int) -> int:
+    """Snap to the manufacturing-friendly grid."""
+    return int(round(value / grid)) * grid

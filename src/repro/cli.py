@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The deployment surface a downstream user drives:
+
+* ``generate`` -- emit a synthetic testcase as LEF + DEF.
+* ``analyze``  -- run pin access analysis on a LEF/DEF pair and report
+  the paper's Experiment 1/2 metrics.
+* ``route``    -- route a LEF/DEF pair with PAAF or legacy access and
+  report routed pin-access DRCs (Experiment 3).
+* ``render``   -- draw the pin access view of a LEF/DEF pair as SVG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import build_testcase
+from repro.core import (
+    LegacyPinAccess,
+    PaafConfig,
+    PinAccessFramework,
+    evaluate_failed_pins,
+    unique_instances,
+)
+from repro.lefdef import parse_def, parse_lef, write_def, write_lef
+from repro.report import format_table
+from repro.route import DetailedRouter, count_route_drcs
+from repro.route.drcu import drcu_access_map
+from repro.viz import render_pin_access, render_routing
+
+
+def main(argv: list = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PAO: pin access oracle for detailed routing",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    gen = sub.add_parser("generate", help="emit a testcase as LEF + DEF")
+    gen.add_argument("testcase", help="e.g. ispd18_test1")
+    gen.add_argument("--scale", type=float, default=0.01)
+    gen.add_argument("--lef", required=True, help="output LEF path")
+    gen.add_argument("--def", dest="def_path", required=True,
+                     help="output DEF path")
+    gen.set_defaults(handler=_cmd_generate)
+
+    ana = sub.add_parser("analyze", help="run pin access analysis")
+    _add_io_args(ana)
+    ana.add_argument("--no-bca", action="store_true",
+                     help="disable boundary-conflict awareness")
+    ana.add_argument("--baseline", action="store_true",
+                     help="run the legacy TrRte-style flow instead")
+    ana.add_argument("--list-failed", action="store_true",
+                     help="print each failed pin")
+    ana.set_defaults(handler=_cmd_analyze)
+
+    rte = sub.add_parser("route", help="route and score pin-access DRCs")
+    _add_io_args(rte)
+    rte.add_argument("--access", choices=("pao", "legacy"), default="pao")
+    rte.add_argument("--scope", choices=("pin-access", "full"),
+                     default="pin-access")
+    rte.add_argument("--svg", help="write the routed view to this SVG path")
+    rte.set_defaults(handler=_cmd_route)
+
+    ren = sub.add_parser("render", help="render the pin access view")
+    _add_io_args(ren)
+    ren.add_argument("--svg", required=True, help="output SVG path")
+    ren.add_argument("--width", type=int, default=1000)
+    ren.set_defaults(handler=_cmd_render)
+
+    ste = sub.add_parser(
+        "suite", help="reproduce the paper's Tables I-III on the suite"
+    )
+    ste.add_argument("--scale", type=float, default=0.004)
+    ste.add_argument(
+        "--testcases",
+        nargs="*",
+        default=None,
+        help="subset of testcase names (default: all ten)",
+    )
+    ste.set_defaults(handler=_cmd_suite)
+
+    return parser
+
+
+def _add_io_args(sub_parser) -> None:
+    sub_parser.add_argument("--lef", required=True, help="input LEF path")
+    sub_parser.add_argument("--def", dest="def_path", required=True,
+                            help="input DEF path")
+
+
+def _load(args):
+    with open(args.lef) as handle:
+        lef_text = handle.read()
+    with open(args.def_path) as handle:
+        def_text = handle.read()
+    tech, masters = parse_lef(lef_text)
+    return parse_def(def_text, tech, masters)
+
+
+# -- commands ------------------------------------------------------------------
+
+
+def _cmd_generate(args) -> int:
+    design = build_testcase(args.testcase, scale=args.scale)
+    with open(args.lef, "w") as handle:
+        handle.write(write_lef(design.tech, list(design.masters.values())))
+    with open(args.def_path, "w") as handle:
+        handle.write(write_def(design))
+    stats = design.stats()
+    print(
+        f"wrote {args.lef} and {args.def_path}: "
+        f"{stats['num_std_cells']} std cells, {stats['num_macros']} macros, "
+        f"{stats['num_nets']} nets ({stats['node']})"
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    design = _load(args)
+    if args.baseline:
+        flow = LegacyPinAccess(design)
+        result = flow.run()
+        access_map = flow.access_map(result)
+        label = "legacy (TrRte-style)"
+    else:
+        config = PaafConfig()
+        if args.no_bca:
+            config = config.without_bca()
+        result = PinAccessFramework(design, config).run()
+        access_map = result.access_map()
+        label = "PAAF" + (" w/o BCA" if args.no_bca else " w/ BCA")
+    failed = evaluate_failed_pins(design, access_map)
+    rows = [
+        ["flow", label],
+        ["unique instances", len(unique_instances(design))],
+        ["access points", result.total_access_points],
+        ["dirty access points", result.count_dirty_aps()],
+        ["connected pins", len(design.connected_pins())],
+        ["failed pins", len(failed)],
+        ["runtime (s)", f"{result.timings['total']:.2f}"],
+    ]
+    if design.io_pins and not args.baseline:
+        from repro.core import IoPinAccess
+
+        io_access = IoPinAccess(design).run()
+        io_failed = sum(1 for aps in io_access.values() if not aps)
+        rows.append(["IO pins", len(design.io_pins)])
+        rows.append(["IO pins without access", io_failed])
+    print(format_table(["metric", "value"], rows,
+                       title=f"Pin access analysis: {design.name}"))
+    if args.list_failed:
+        for inst_name, pin_name in failed:
+            print(f"FAILED {inst_name}/{pin_name}")
+    return 0 if not failed else 1
+
+
+def _cmd_route(args) -> int:
+    design = _load(args)
+    if args.access == "pao":
+        access_map = PinAccessFramework(design).run().access_map()
+    else:
+        access_map = drcu_access_map(design)
+    result = DetailedRouter(design).route(access_map)
+    drcs = count_route_drcs(design, result, scope=args.scope)
+    print(
+        f"{design.name}: routed {result.routed_nets} nets "
+        f"({len(result.failed_nets)} failed, "
+        f"{result.unconnected_terms} unconnected terminals); "
+        f"{len(drcs)} {args.scope} DRCs"
+    )
+    if args.svg:
+        with open(args.svg, "w") as handle:
+            handle.write(render_routing(design, result, drcs))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    import time
+
+    from repro.bench.ispd18 import ISPD18_TESTCASES
+    from repro.report import (
+        render_table1,
+        render_table2,
+        render_table3,
+        table2_row,
+        table3_row,
+    )
+
+    names = args.testcases or [s.name for s in ISPD18_TESTCASES]
+    designs = [build_testcase(name, scale=args.scale) for name in names]
+    print(render_table1(designs))
+    print()
+
+    rows2 = []
+    rows3 = []
+    for design in designs:
+        t0 = time.perf_counter()
+        baseline = LegacyPinAccess(design)
+        baseline_result = baseline.run()
+        baseline_failed = evaluate_failed_pins(
+            design, baseline.access_map(baseline_result)
+        )
+        baseline_time = time.perf_counter() - t0
+
+        paaf_step1 = PinAccessFramework(design).run_step1()
+        rows2.append(
+            table2_row(
+                design.name,
+                len(unique_instances(design)),
+                baseline_result.total_access_points,
+                paaf_step1.total_access_points,
+                baseline_result.count_dirty_aps(),
+                paaf_step1.count_dirty_aps(),
+                baseline_time,
+                paaf_step1.timings["step1"],
+            )
+        )
+
+        t0 = time.perf_counter()
+        nobca = PinAccessFramework(
+            design, PaafConfig().without_bca()
+        ).run()
+        nobca_failed = evaluate_failed_pins(design, nobca.access_map())
+        nobca_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        bca = PinAccessFramework(design).run()
+        bca_failed = evaluate_failed_pins(design, bca.access_map())
+        bca_time = time.perf_counter() - t0
+        rows3.append(
+            table3_row(
+                design.name,
+                len(design.connected_pins()),
+                len(baseline_failed),
+                len(nobca_failed),
+                len(bca_failed),
+                baseline_time,
+                nobca_time,
+                bca_time,
+            )
+        )
+    print(render_table2(rows2))
+    print()
+    print(render_table3(rows3))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    design = _load(args)
+    access_map = PinAccessFramework(design).run().access_map()
+    with open(args.svg, "w") as handle:
+        handle.write(
+            render_pin_access(design, access_map, pixel_width=args.width)
+        )
+    print(f"wrote {args.svg}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""Pin-based access point generation (paper Algorithm 1).
+
+For each pin, candidate points are enumerated coordinate-type ladder
+first: all combinations of (non-preferred type ``t1``, preferred type
+``t0``) in ascending cost order.  Every candidate is validated by
+dropping each via definition of the layer through the DRC engine; the
+procedure early-terminates once ``k`` valid access points exist, but
+only after finishing the current type combination -- so large pins can
+yield slightly more than ``k`` points (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PaafConfig
+from repro.core.coords import CoordType, candidate_coords
+from repro.db.design import Design
+from repro.db.inst import Instance
+from repro.db.master import MasterPin
+from repro.drc.engine import DrcEngine
+from repro.geom.maxrect import maximal_rectangles
+from repro.geom.point import Point
+from repro.geom.polygon import RectilinearPolygon
+from repro.geom.rect import Rect
+from repro.tech.layer import Layer
+
+
+PLANAR_DIRECTIONS = ("E", "W", "N", "S")
+
+
+@dataclass
+class AccessPoint:
+    """A validated access point (paper Sec. II-B1).
+
+    ``valid_vias`` lists the names of via definitions that drop
+    DRC-clean at this point; the first is the *primary* via.
+    ``planar_dirs`` holds the planar escape directions that check
+    clean.  ``cost`` is the coordinate-type cost used by the DP
+    (preferred + non-preferred type values).
+    """
+
+    x: int
+    y: int
+    layer_name: str
+    pref_type: CoordType
+    nonpref_type: CoordType
+    valid_vias: list = field(default_factory=list)
+    planar_dirs: list = field(default_factory=list)
+
+    @property
+    def point(self) -> Point:
+        """Return the access point location."""
+        return Point(self.x, self.y)
+
+    @property
+    def primary_via(self) -> str:
+        """Return the primary via name, or None without via access."""
+        return self.valid_vias[0] if self.valid_vias else None
+
+    @property
+    def has_via_access(self) -> bool:
+        """Return True if an up-via is valid here."""
+        return bool(self.valid_vias)
+
+    @property
+    def cost(self) -> int:
+        """Return the coordinate-type cost (lower is better)."""
+        return int(self.pref_type) + int(self.nonpref_type)
+
+    def translated(self, dx: int, dy: int) -> "AccessPoint":
+        """Return a copy moved by ``(dx, dy)`` (unique-instance mapping)."""
+        return AccessPoint(
+            x=self.x + dx,
+            y=self.y + dy,
+            layer_name=self.layer_name,
+            pref_type=self.pref_type,
+            nonpref_type=self.nonpref_type,
+            valid_vias=list(self.valid_vias),
+            planar_dirs=list(self.planar_dirs),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"AP({self.x}, {self.y}, {self.layer_name}, "
+            f"t0={int(self.pref_type)}, t1={int(self.nonpref_type)}, "
+            f"via={self.primary_via})"
+        )
+
+
+class AccessPointGenerator:
+    """Implements Algorithm 1 for one design."""
+
+    def __init__(self, design: Design, engine: DrcEngine, config: PaafConfig = None):
+        self.design = design
+        self.tech = design.tech
+        self.engine = engine
+        self.config = config or PaafConfig()
+
+    def generate_for_pin(
+        self, inst: Instance, pin: MasterPin, context
+    ) -> list:
+        """Generate up to ~k valid access points for one instance pin.
+
+        ``context`` is the :class:`~repro.drc.ShapeContext` the vias
+        are validated against (intra-cell context in Step 1).  Returns
+        access points in generation (cost) order.
+        """
+        aps = []
+        seen_points = set()
+        shapes = inst.pin_rects(pin.name)
+        net_key = (inst.name, pin.name)
+        for layer_name in sorted(shapes):
+            layer = self.tech.layer(layer_name)
+            if not layer.is_routing:
+                continue
+            polygon = RectilinearPolygon(shapes[layer_name])
+            rects = maximal_rectangles(polygon)
+            done = self._generate_on_layer(
+                layer, rects, net_key, context, aps, seen_points,
+                is_macro=inst.master.is_macro, polygon=polygon,
+            )
+            if done:
+                break
+        return aps
+
+    # -- internals ---------------------------------------------------------
+
+    def _generate_on_layer(
+        self, layer, rects, net_key, context, aps, seen_points, is_macro,
+        polygon=None,
+    ) -> bool:
+        """Run the Algorithm 1 double loop on one layer.
+
+        Returns True if the early-termination quota was reached.
+        """
+        cfg = self.config
+        pref_axis = "y" if layer.is_horizontal else "x"
+        try:
+            primary_viadef = self.tech.primary_via_from(layer.name)
+        except KeyError:
+            primary_viadef = None
+        for t1 in cfg.non_preferred_types:
+            for t0 in cfg.preferred_types:
+                for rect in rects:
+                    for point in self._points_of_type(
+                        layer, rect, pref_axis, t0, t1, primary_viadef
+                    ):
+                        if point in seen_points:
+                            continue
+                        seen_points.add(point)
+                        ap = self._validate(
+                            layer, point, t0, t1, net_key, context,
+                            is_macro, polygon,
+                        )
+                        if ap is not None:
+                            aps.append(ap)
+                if len(aps) >= cfg.k:
+                    return True
+        return False
+
+    def _points_of_type(
+        self, layer, rect, pref_axis, t0, t1, viadef
+    ) -> list:
+        """Cross the coordinate candidates of (t0, t1) over one rect."""
+        pref_coords = candidate_coords(
+            pref_axis, t0, rect, layer, self.design, self.tech, viadef
+        )
+        nonpref_axis = "x" if pref_axis == "y" else "y"
+        nonpref_coords = candidate_coords(
+            nonpref_axis, t1, rect, layer, self.design, self.tech, viadef
+        )
+        points = []
+        for pc in pref_coords:
+            for nc in nonpref_coords:
+                x, y = (nc, pc) if pref_axis == "y" else (pc, nc)
+                points.append(Point(x, y))
+        return points
+
+    def _validate(
+        self, layer, point, t0, t1, net_key, context, is_macro, polygon=None
+    ):
+        """Return a validated AccessPoint, or None if nothing is legal.
+
+        An access point is valid if a via can be dropped DRC-free
+        (Sec. III-A); for macro pins planar-only access also counts,
+        since the footnote's via-only restriction applies to standard
+        cells.  With ``require_cut_on_pin`` set, a via additionally
+        needs its cut fully landed on pin metal (the strict via-in-pin
+        reading for advanced nodes).
+        """
+        valid_vias = []
+        for viadef in self.tech.vias_from(layer.name):
+            if (
+                self.config.require_cut_on_pin
+                and polygon is not None
+                and not polygon.contains_rect(
+                    viadef.cut_at(point.x, point.y)
+                )
+            ):
+                continue
+            violations = self.engine.check_via_placement(
+                viadef, point.x, point.y, net_key, context
+            )
+            if not violations:
+                valid_vias.append(viadef.name)
+        planar_dirs = []
+        if self.config.check_planar:
+            planar_dirs = self._planar_directions(
+                layer, point, net_key, context
+            )
+        ap = AccessPoint(
+            x=point.x,
+            y=point.y,
+            layer_name=layer.name,
+            pref_type=t0,
+            nonpref_type=t1,
+            valid_vias=valid_vias,
+            planar_dirs=planar_dirs,
+        )
+        if ap.has_via_access:
+            return ap
+        if not self.config.require_via_access or is_macro:
+            if planar_dirs:
+                return ap
+        return None
+
+    def _planar_directions(self, layer, point, net_key, context) -> list:
+        """Return planar escape directions that check DRC-clean.
+
+        The stub is one pitch of wire at the layer's default width
+        leaving the access point; a clean stub means the router can end
+        routing here in that direction.
+        """
+        half = layer.width // 2
+        length = layer.pitch
+        stubs = {
+            "E": Rect(point.x, point.y - half, point.x + length, point.y + half),
+            "W": Rect(point.x - length, point.y - half, point.x, point.y + half),
+            "N": Rect(point.x - half, point.y, point.x + half, point.y + length),
+            "S": Rect(point.x - half, point.y - length, point.x + half, point.y),
+        }
+        clean = []
+        for direction in PLANAR_DIRECTIONS:
+            stub = stubs[direction]
+            violations = self.engine.check_metal_rect(
+                layer.name, stub, net_key, context, label="planar-stub"
+            )
+            if not violations:
+                clean.append(direction)
+        return clean

@@ -1,0 +1,60 @@
+"""Configuration for the pin access framework.
+
+Defaults follow the paper's published constants: ``k = 3`` access
+points per pin (Sec. III-A), ``alpha = 0.3`` pin-ordering weight
+(Sec. III-B), up to 3 access patterns per unique instance (Sec. IV,
+Experiment 2), boundary-conflict awareness and history-aware
+optimization on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.coords import (
+    NON_PREFERRED_TYPES,
+    PREFERRED_TYPES,
+)
+
+
+@dataclass
+class PaafConfig:
+    """Tunable knobs of the framework (ablation benches sweep these)."""
+
+    # Step 1 -- access point generation.
+    k: int = 3
+    require_via_access: bool = True     # std cells need up-via access
+    check_planar: bool = True           # also record planar directions
+    require_cut_on_pin: bool = False    # strict via-in-pin: the cut must
+                                        # land fully on pin metal
+    preferred_types: tuple = PREFERRED_TYPES
+    non_preferred_types: tuple = NON_PREFERRED_TYPES
+
+    # Step 2 -- access pattern generation.
+    alpha: float = 0.3
+    patterns_per_unique_instance: int = 3
+    boundary_conflict_aware: bool = True
+    history_aware: bool = True
+    ap_cost_scale: int = 1
+    drc_cost: int = 1000
+    penalty_cost: int = 100
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.patterns_per_unique_instance <= 0:
+            raise ValueError("patterns_per_unique_instance must be positive")
+
+    def without_bca(self) -> "PaafConfig":
+        """Return a copy configured as the paper's "w/o BCA" setup.
+
+        One access pattern per unique instance and no boundary-conflict
+        penalty (Experiment 2's first PAAF column).
+        """
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            patterns_per_unique_instance=1,
+            boundary_conflict_aware=False,
+        )

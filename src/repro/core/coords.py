@@ -1,0 +1,138 @@
+"""Coordinate types and candidate coordinate enumeration (paper Sec. II-C).
+
+Four coordinate types, with cost equal to their enum value (the lower
+the better):
+
+* ``ON_TRACK`` (0) -- on a preferred or non-preferred routing track.
+  Following the paper, the non-preferred-direction tracks of a layer
+  are the *preferred* tracks of the routing layer immediately above,
+  so an on-track up-via aligns with both layers.
+* ``HALF_TRACK`` (1) -- midpoint between two neighboring tracks.
+* ``SHAPE_CENTER`` (2) -- midpoint of a maximal rectangle of the pin,
+  skipped on an axis whose span already touches two or more tracks.
+* ``ENCLOSURE_BOUNDARY`` (3) -- aligns the primary via's bottom
+  enclosure with the pin shape boundary (via-in-pin).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.db.design import Design
+from repro.geom.rect import Rect
+from repro.tech.layer import Layer, RoutingDirection
+from repro.tech.technology import Technology
+from repro.tech.via import ViaDef
+
+
+class CoordType(enum.IntEnum):
+    """The four coordinate types; the value doubles as the cost."""
+
+    ON_TRACK = 0
+    HALF_TRACK = 1
+    SHAPE_CENTER = 2
+    ENCLOSURE_BOUNDARY = 3
+
+
+PREFERRED_TYPES = (
+    CoordType.ON_TRACK,
+    CoordType.HALF_TRACK,
+    CoordType.SHAPE_CENTER,
+    CoordType.ENCLOSURE_BOUNDARY,
+)
+NON_PREFERRED_TYPES = (
+    CoordType.ON_TRACK,
+    CoordType.HALF_TRACK,
+    CoordType.SHAPE_CENTER,
+)
+
+
+def track_patterns_for_axis(
+    design: Design, tech: Technology, layer: Layer, axis: str
+) -> list:
+    """Return the track patterns supplying on-track coords on ``axis``.
+
+    For the layer's preferred axis these are the layer's own patterns;
+    for the non-preferred axis they are the patterns of the routing
+    layer above (paper Sec. II-C), falling back to the layer below at
+    the top of the stack.
+    """
+    if axis == "y":
+        wanted = RoutingDirection.HORIZONTAL
+    elif axis == "x":
+        wanted = RoutingDirection.VERTICAL
+    else:
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+
+    preferred_axis = "y" if layer.is_horizontal else "x"
+    if axis == preferred_axis:
+        source = layer
+    else:
+        source = tech.routing_layer_above(layer)
+        if source is None:
+            below = tech.layer_below(layer)
+            while below is not None and not below.is_routing:
+                below = tech.layer_below(below)
+            source = below
+    if source is None:
+        return []
+    return [
+        p
+        for p in design.track_patterns_on(source.name)
+        if p.direction is wanted
+    ]
+
+
+def candidate_coords(
+    axis: str,
+    ctype: CoordType,
+    rect: Rect,
+    layer: Layer,
+    design: Design,
+    tech: Technology,
+    via: ViaDef = None,
+) -> list:
+    """Enumerate candidate coordinates of one type on one axis.
+
+    ``rect`` is a maximal rectangle of the pin shape in design
+    coordinates.  Returns sorted unique coordinates that keep the
+    access point inside ``rect`` on that axis.
+    """
+    span = rect.xspan if axis == "x" else rect.yspan
+    patterns = track_patterns_for_axis(design, tech, layer, axis)
+
+    if ctype is CoordType.ON_TRACK:
+        coords = []
+        for p in patterns:
+            coords.extend(p.coords_in(span.lo, span.hi))
+        return sorted(set(coords))
+
+    if ctype is CoordType.HALF_TRACK:
+        coords = []
+        for p in patterns:
+            coords.extend(p.half_track_coords_in(span.lo, span.hi))
+        return sorted(set(coords))
+
+    if ctype is CoordType.SHAPE_CENTER:
+        # Skip if the span already touches two or more tracks: those
+        # cases are served by on-track points, and skipping reduces
+        # unique off-track coordinates (paper Sec. II-C).
+        touched = sum(
+            len(p.coords_in(span.lo, span.hi)) for p in patterns
+        )
+        if touched >= 2:
+            return []
+        return [span.center]
+
+    if ctype is CoordType.ENCLOSURE_BOUNDARY:
+        if via is None:
+            return []
+        enc = via.bottom_enc
+        enc_span = enc.xspan if axis == "x" else enc.yspan
+        if enc_span.length > span.length:
+            return []
+        low_aligned = span.lo - enc_span.lo
+        high_aligned = span.hi - enc_span.hi
+        return sorted({low_aligned, high_aligned})
+
+    raise ValueError(f"unknown coordinate type {ctype!r}")

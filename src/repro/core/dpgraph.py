@@ -1,0 +1,80 @@
+"""The layered DAG and dynamic program shared by Steps 2 and 3.
+
+Paper Figures 6 and 7: vertices are grouped (per pin in Step 2, per
+instance in Step 3); complete bipartite edges connect neighboring
+groups; a virtual source precedes the first group and a virtual sink
+follows the last.  The DP relaxes groups left to right and traces back
+the minimum-cost source-to-sink path, visiting exactly one vertex per
+group (Algorithm 2).
+
+The edge-cost callback receives the *back-pointer* of the predecessor
+vertex, which is what makes Algorithm 3's history-aware cost (lines
+9-10) well defined: when edge (prev -> curr) is priced, prev's own best
+predecessor is already fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+INFINITY = float("inf")
+
+
+@dataclass
+class DpVertex:
+    """DP state for one vertex: best path cost and back-pointer."""
+
+    payload: object
+    cost: float = INFINITY
+    prev: "DpVertex" = None
+
+
+class LayeredDpGraph:
+    """A layered DAG over payload groups."""
+
+    def __init__(self, groups: list):
+        if not groups:
+            raise ValueError("graph needs at least one group")
+        if any(not group for group in groups):
+            raise ValueError("every group needs at least one vertex")
+        self.layers = [
+            [DpVertex(payload=p) for p in group] for group in groups
+        ]
+
+    def solve(self, edge_cost) -> tuple:
+        """Run Algorithm 2; return (chosen payloads, total cost).
+
+        ``edge_cost(prev_payload, curr_payload, prev_prev_payload)`` is
+        called for every candidate edge; for the first group
+        ``prev_payload`` and ``prev_prev_payload`` are None and the
+        returned value is the vertex's source cost.
+        """
+        for vertex in self.layers[0]:
+            vertex.cost = edge_cost(None, vertex.payload, None)
+            vertex.prev = None
+        for m in range(1, len(self.layers)):
+            for curr in self.layers[m]:
+                for prev in self.layers[m - 1]:
+                    if prev.cost is INFINITY:
+                        continue
+                    prev_prev = prev.prev.payload if prev.prev else None
+                    path_cost = prev.cost + edge_cost(
+                        prev.payload, curr.payload, prev_prev
+                    )
+                    if path_cost < curr.cost:
+                        curr.cost = path_cost
+                        curr.prev = prev
+        return self._trace_back()
+
+    def _trace_back(self) -> tuple:
+        """Return the minimum-cost path as (payloads, cost)."""
+        best = min(self.layers[-1], key=lambda v: v.cost)
+        if best.cost is INFINITY:
+            raise RuntimeError("no path through the DP graph")
+        path = []
+        vertex = best
+        while vertex is not None:
+            path.append(vertex.payload)
+            vertex = vertex.prev
+        path.reverse()
+        return path, best.cost

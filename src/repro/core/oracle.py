@@ -1,0 +1,94 @@
+"""The pin access oracle facade (the PAO of the title).
+
+A detailed router (or placer, or ECO tool) wants one question
+answered: *where can I land on this pin, legally?*  The
+:class:`PinAccessOracle` wraps the three-step framework behind that
+query interface: analyze once, then ask per instance pin and get the
+selected access point plus the validated alternatives, in preference
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PaafConfig
+from repro.core.framework import PinAccessFramework
+from repro.core.signature import instance_signature
+from repro.db.design import Design
+
+
+@dataclass
+class PinAccessAnswer:
+    """The oracle's answer for one instance pin.
+
+    ``selected`` is the Step 3 choice (pattern-compatible with the
+    instance's other pins and its neighbors); ``alternatives`` are all
+    Step 1 access points translated to the instance, in generation
+    (cost) order -- what a router falls back to when the selected point
+    is blocked by congestion.
+    """
+
+    instance_name: str
+    pin_name: str
+    selected: object
+    alternatives: list
+
+    @property
+    def accessible(self) -> bool:
+        """Return True if at least one access point exists."""
+        return self.selected is not None or bool(self.alternatives)
+
+
+class PinAccessOracle:
+    """Analyze once, answer pin access queries forever after."""
+
+    def __init__(self, design: Design, config: PaafConfig = None):
+        self.design = design
+        self.result = PinAccessFramework(design, config).run()
+        self._access_map = self.result.access_map()
+        self._ua_by_inst = {}
+        for ua in self.result.unique_accesses:
+            for member in ua.unique_instance.members:
+                self._ua_by_inst[member.name] = ua
+
+    def query(self, instance_name: str, pin_name: str) -> PinAccessAnswer:
+        """Answer for one instance pin.
+
+        Raises KeyError for unknown instances; unknown pins of known
+        instances answer with no access (robustness for callers probing
+        generated pin names).
+        """
+        inst = self.design.instance(instance_name)
+        selected = self._access_map.get((instance_name, pin_name))
+        alternatives = []
+        ua = self._ua_by_inst.get(instance_name)
+        if ua is not None and pin_name in ua.aps_by_pin:
+            dx, dy = ua.unique_instance.translation_to(inst)
+            alternatives = [
+                ap.translated(dx, dy) for ap in ua.aps_by_pin[pin_name]
+            ]
+        return PinAccessAnswer(
+            instance_name=instance_name,
+            pin_name=pin_name,
+            selected=selected,
+            alternatives=alternatives,
+        )
+
+    def accessible_fraction(self) -> float:
+        """Return the share of connected pins with a selected access."""
+        pins = self.design.connected_pins()
+        if not pins:
+            return 1.0
+        have = sum(
+            1
+            for inst, pin in pins
+            if (inst.name, pin.name) in self._access_map
+        )
+        return have / len(pins)
+
+    def signature_of(self, instance_name: str) -> tuple:
+        """Expose the unique-instance signature (debugging aid)."""
+        return instance_signature(
+            self.design, self.design.instance(instance_name)
+        )

@@ -1,0 +1,173 @@
+"""Unique-instance access pattern generation (paper Sec. III-B).
+
+The iterative flow of Figure 4: order pins, build the layered DP graph
+(Figure 6), run Algorithm 2 with the boundary-conflict-aware and
+history-aware edge costs of Algorithm 3, validate the resulting
+pattern with the DRC engine, penalize the used boundary access points
+and iterate for the next pattern.
+"""
+
+from __future__ import annotations
+
+from repro.core.apgen import AccessPoint
+from repro.core.config import PaafConfig
+from repro.core.dpgraph import LayeredDpGraph
+from repro.core.pattern import AccessPattern
+from repro.drc.engine import DrcEngine
+from repro.tech.technology import Technology
+
+
+def order_pins(aps_by_pin: dict, alpha: float) -> list:
+    """Order pins by ``x_avg + alpha * y_avg`` of their access points.
+
+    Pins without access points are excluded (they cannot join any
+    pattern).  With a small alpha the first and last pins are the
+    leftmost and rightmost pins -- the *boundary pins* that get special
+    treatment (paper Figure 5).
+    """
+    keyed = []
+    for pin_name, aps in aps_by_pin.items():
+        if not aps:
+            continue
+        x_avg = sum(ap.x for ap in aps) / len(aps)
+        y_avg = sum(ap.y for ap in aps) / len(aps)
+        keyed.append((x_avg + alpha * y_avg, pin_name))
+    keyed.sort()
+    return [pin_name for _, pin_name in keyed]
+
+
+class AccessPatternGenerator:
+    """Generates up to N mutually-diverse access patterns per unique instance."""
+
+    def __init__(self, tech: Technology, engine: DrcEngine, config: PaafConfig = None):
+        self.tech = tech
+        self.engine = engine
+        self.config = config or PaafConfig()
+        self._pair_cache = {}
+
+    def generate(self, aps_by_pin: dict) -> list:
+        """Return access patterns for one unique instance.
+
+        ``aps_by_pin`` maps pin name to the Step 1 access point list
+        (representative-instance coordinates).  Patterns cover every
+        pin that has at least one access point.
+        """
+        cfg = self.config
+        ordered_pins = order_pins(aps_by_pin, cfg.alpha)
+        if not ordered_pins:
+            return []
+        boundary_pins = {ordered_pins[0], ordered_pins[-1]}
+        groups = [
+            [(pin_name, ap) for ap in aps_by_pin[pin_name]]
+            for pin_name in ordered_pins
+        ]
+        used_boundary_aps = set()
+        patterns = []
+        seen_signatures = set()
+        for _ in range(cfg.patterns_per_unique_instance):
+            graph = LayeredDpGraph(groups)
+            chosen, cost = graph.solve(
+                self._edge_cost_fn(boundary_pins, used_boundary_aps)
+            )
+            pattern = AccessPattern(
+                aps={pin_name: ap for pin_name, ap in chosen},
+                cost=int(cost),
+            )
+            pattern.violations = self.validate(pattern)
+            signature = pattern.signature()
+            if signature not in seen_signatures:
+                seen_signatures.add(signature)
+                patterns.append(pattern)
+            for pin_name, ap in chosen:
+                if pin_name in boundary_pins:
+                    used_boundary_aps.add((pin_name, id(ap)))
+        return patterns
+
+    # -- Algorithm 3 -------------------------------------------------------
+
+    def _edge_cost_fn(self, boundary_pins: set, used_boundary_aps: set):
+        """Build the Algorithm 3 edge-cost callback for one DP run."""
+        cfg = self.config
+
+        def is_used_boundary(vertex) -> bool:
+            pin_name, ap = vertex
+            return (
+                pin_name in boundary_pins
+                and (pin_name, id(ap)) in used_boundary_aps
+            )
+
+        def edge_cost(prev, curr, prev_prev) -> float:
+            if prev is None:
+                # Virtual source edge: the vertex's own quality cost.
+                _, ap = curr
+                return cfg.ap_cost_scale * ap.cost
+            if cfg.boundary_conflict_aware and is_used_boundary(prev):
+                return cfg.penalty_cost
+            if cfg.boundary_conflict_aware and is_used_boundary(curr):
+                return cfg.penalty_cost
+            if not self.aps_compatible(prev[1], curr[1]):
+                return cfg.drc_cost
+            if (
+                cfg.history_aware
+                and prev_prev is not None
+                and not self.aps_compatible(prev_prev[1], curr[1])
+            ):
+                return cfg.drc_cost
+            _, prev_ap = prev
+            _, curr_ap = curr
+            return cfg.ap_cost_scale * (prev_ap.cost + curr_ap.cost)
+
+        return edge_cost
+
+    def aps_compatible(self, ap_a: AccessPoint, ap_b: AccessPoint) -> bool:
+        """Return True if the primary up-vias of two APs are DRC-clean.
+
+        Only up-vias are checked (the paper's acceleration); results
+        are memoized because the DP revisits the same pairs across
+        iterations.
+        """
+        key = (id(ap_a), id(ap_b))
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        compatible = self._check_pair(ap_a, ap_b)
+        self._pair_cache[key] = compatible
+        self._pair_cache[(key[1], key[0])] = compatible
+        return compatible
+
+    def _check_pair(self, ap_a: AccessPoint, ap_b: AccessPoint) -> bool:
+        if not ap_a.has_via_access or not ap_b.has_via_access:
+            # Planar-only access points cannot conflict through vias.
+            return True
+        via_a = self.tech.via(ap_a.primary_via)
+        via_b = self.tech.via(ap_b.primary_via)
+        violations = self.engine.check_via_pair(
+            via_a, (ap_a.x, ap_a.y), via_b, (ap_b.x, ap_b.y)
+        )
+        return not violations
+
+    # -- post-generation validation -----------------------------------------
+
+    def validate(self, pattern: AccessPattern) -> list:
+        """Full DRC validation of a pattern (all AP pairs, up-vias only).
+
+        Catches the "unseen DRCs" between non-neighboring groups that
+        the chain-structured DP cannot price (Sec. III-B end).  Returns
+        ``(pin_a, pin_b, violation)`` tuples so failed-pin accounting
+        can name the culprits.
+        """
+        items = list(pattern.aps.items())
+        violations = []
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                name_a, ap_a = items[i]
+                name_b, ap_b = items[j]
+                if not ap_a.has_via_access or not ap_b.has_via_access:
+                    continue
+                via_a = self.tech.via(ap_a.primary_via)
+                via_b = self.tech.via(ap_b.primary_via)
+                for violation in self.engine.check_via_pair(
+                    via_a, (ap_a.x, ap_a.y), via_b, (ap_b.x, ap_b.y)
+                ):
+                    violations.append((name_a, name_b, violation))
+        return violations

@@ -1,0 +1,93 @@
+"""Unique instance extraction (paper Sec. II-A).
+
+A unique instance is defined by the signature (cell master,
+orientation, offsets to all track patterns).  Instances sharing a
+signature see identical on-track / off-track geometry relative to
+their origins, so intra-cell pin access analysis runs once per unique
+instance and the result translates to every member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.design import Design
+from repro.db.inst import Instance
+from repro.tech.layer import RoutingDirection
+
+
+def instance_signature(design: Design, inst: Instance) -> tuple:
+    """Return the signature tuple of ``inst``.
+
+    The track-offset component records, for every track pattern in the
+    design, the instance origin's offset modulo the track step along
+    the pattern's axis (paper Figure 1: same master + orientation but
+    different offsets are different unique instances).
+    """
+    offsets = []
+    for pattern in design.track_patterns:
+        if pattern.direction is RoutingDirection.HORIZONTAL:
+            coordinate = inst.location.y
+        else:
+            coordinate = inst.location.x
+        offsets.append(pattern.offset_of(coordinate))
+    return (inst.master.name, inst.orient, tuple(offsets))
+
+
+@dataclass
+class UniqueInstance:
+    """One equivalence class of instances with a shared signature.
+
+    ``representative`` is the first member encountered; all analysis
+    runs in its design coordinates, and results map to other members by
+    pure translation (equal signatures guarantee equal orientation and
+    track alignment).
+    """
+
+    signature: tuple
+    representative: Instance
+    members: list = field(default_factory=list)
+
+    @property
+    def master_name(self) -> str:
+        """Return the cell master name."""
+        return self.signature[0]
+
+    def translation_to(self, inst: Instance) -> tuple:
+        """Return ``(dx, dy)`` mapping representative coords to ``inst``."""
+        if inst.master.name != self.master_name:
+            raise ValueError(
+                f"instance {inst.name} ({inst.master.name}) does not belong "
+                f"to unique instance of {self.master_name}"
+            )
+        rep = self.representative
+        return (
+            inst.location.x - rep.location.x,
+            inst.location.y - rep.location.y,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"UniqueInstance({self.master_name}, "
+            f"{self.signature[1].def_name}, {len(self.members)} members)"
+        )
+
+
+def unique_instances(design: Design) -> list:
+    """Group the design's instances into unique instances.
+
+    Returns :class:`UniqueInstance` objects in first-seen order
+    (instance insertion order), which keeps the whole flow
+    deterministic.
+    """
+    by_signature = {}
+    ordered = []
+    for inst in design.instances.values():
+        sig = instance_signature(design, inst)
+        ui = by_signature.get(sig)
+        if ui is None:
+            ui = UniqueInstance(signature=sig, representative=inst)
+            by_signature[sig] = ui
+            ordered.append(ui)
+        ui.members.append(inst)
+    return ordered

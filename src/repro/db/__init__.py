@@ -1,0 +1,26 @@
+"""Design database: cell masters, instances, tracks, rows, nets.
+
+This is the DEF-side substrate.  A :class:`Design` ties a
+:class:`~repro.tech.Technology` to placed :class:`Instance` objects of
+:class:`CellMaster` definitions, row/site structure, track patterns and
+nets -- everything the pin access framework consumes.
+"""
+
+from repro.db.master import CellMaster, MasterPin, Obstruction, PinUse
+from repro.db.inst import Instance
+from repro.db.tracks import TrackPattern
+from repro.db.net import IOPin, Net
+from repro.db.design import Design, Row
+
+__all__ = [
+    "CellMaster",
+    "MasterPin",
+    "Obstruction",
+    "PinUse",
+    "Instance",
+    "TrackPattern",
+    "Net",
+    "IOPin",
+    "Design",
+    "Row",
+]

@@ -1,0 +1,72 @@
+"""Placed instances (DEF COMPONENTS)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.master import CellMaster
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.geom.transform import Orientation, Transform
+
+
+@dataclass
+class Instance:
+    """A placed component.
+
+    ``location`` is the DEF placement point (lower-left of the placed
+    bounding box); ``orient`` the DEF orientation.
+    """
+
+    name: str
+    master: CellMaster
+    location: Point
+    orient: Orientation = Orientation.R0
+
+    @property
+    def transform(self) -> Transform:
+        """Return the master-to-design transform for this placement."""
+        return Transform(
+            offset=self.location,
+            orient=self.orient,
+            width=self.master.width,
+            height=self.master.height,
+        )
+
+    @property
+    def bbox(self) -> Rect:
+        """Return the placed bounding box in design coordinates."""
+        return self.transform.bbox()
+
+    def pin_rects(self, pin_name: str) -> dict:
+        """Return design-space pin rects, keyed by layer name."""
+        xf = self.transform
+        pin = self.master.pin(pin_name)
+        return {
+            layer: [xf.apply_rect(r) for r in rects]
+            for layer, rects in pin.shapes.items()
+        }
+
+    def all_pin_shapes(self) -> list:
+        """Return (pin, layer_name, design-space rect) for all pins."""
+        xf = self.transform
+        out = []
+        for pin in self.master.pins:
+            for layer, rects in pin.shapes.items():
+                for r in rects:
+                    out.append((pin, layer, xf.apply_rect(r)))
+        return out
+
+    def obstruction_rects(self) -> list:
+        """Return (layer_name, design-space rect) for all obstructions."""
+        xf = self.transform
+        return [
+            (obs.layer_name, xf.apply_rect(obs.rect))
+            for obs in self.master.obstructions
+        ]
+
+    def __str__(self) -> str:
+        return (
+            f"Instance({self.name}, {self.master.name}, "
+            f"{self.location}, {self.orient.def_name})"
+        )

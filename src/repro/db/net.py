@@ -1,0 +1,45 @@
+"""Nets and IO pins (DEF NETS / PINS)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geom.rect import Rect
+
+
+@dataclass
+class IOPin:
+    """A top-level IO pin: a fixed shape on a routing layer."""
+
+    name: str
+    layer_name: str
+    rect: Rect
+
+
+@dataclass
+class Net:
+    """A net connecting instance pins and/or IO pins.
+
+    ``terms`` is a list of ``(instance_name, pin_name)`` tuples;
+    ``io_pins`` a list of IO pin names on this net.
+    """
+
+    name: str
+    terms: list = field(default_factory=list)
+    io_pins: list = field(default_factory=list)
+
+    def add_term(self, instance_name: str, pin_name: str) -> None:
+        """Attach an instance pin to the net."""
+        self.terms.append((instance_name, pin_name))
+
+    def add_io_pin(self, io_pin_name: str) -> None:
+        """Attach a top-level IO pin to the net."""
+        self.io_pins.append(io_pin_name)
+
+    @property
+    def degree(self) -> int:
+        """Return the total number of terminals."""
+        return len(self.terms) + len(self.io_pins)
+
+    def __str__(self) -> str:
+        return f"Net({self.name}, degree={self.degree})"

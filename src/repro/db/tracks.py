@@ -1,0 +1,75 @@
+"""DEF TRACKS records.
+
+A track pattern is an arithmetic progression of routing-track
+coordinates on one layer in one direction.  Unique-instance signatures
+(paper Sec. II-A) hash the *offsets of the instance origin to every
+track pattern*, because those offsets determine which pin access
+locations are on-track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.layer import RoutingDirection
+
+
+@dataclass(frozen=True)
+class TrackPattern:
+    """Tracks on ``layer_name``: ``start + i * step`` for i in [0, count).
+
+    ``direction`` is the coordinate axis the values live on: a
+    HORIZONTAL pattern fixes *y* coordinates (tracks run horizontally),
+    a VERTICAL pattern fixes *x* coordinates.
+    """
+
+    layer_name: str
+    direction: RoutingDirection
+    start: int
+    step: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError("track step must be positive")
+        if self.count <= 0:
+            raise ValueError("track count must be positive")
+
+    @property
+    def end(self) -> int:
+        """Return the last track coordinate."""
+        return self.start + (self.count - 1) * self.step
+
+    def coordinates(self) -> list:
+        """Return all track coordinates."""
+        return [self.start + i * self.step for i in range(self.count)]
+
+    def coords_in(self, lo: int, hi: int) -> list:
+        """Return the track coordinates within the closed range [lo, hi]."""
+        if hi < self.start or lo > self.end:
+            return []
+        first = max(0, -(-(lo - self.start) // self.step))  # ceil div
+        last = min(self.count - 1, (hi - self.start) // self.step)
+        return [
+            self.start + i * self.step for i in range(first, last + 1)
+        ]
+
+    def half_track_coords_in(self, lo: int, hi: int) -> list:
+        """Return midpoints between neighboring tracks within [lo, hi]."""
+        half = TrackPattern(
+            layer_name=self.layer_name,
+            direction=self.direction,
+            start=self.start + self.step // 2,
+            step=self.step,
+            count=max(1, self.count - 1),
+        )
+        return half.coords_in(lo, hi)
+
+    def offset_of(self, coordinate: int) -> int:
+        """Return ``coordinate`` modulo the track grid.
+
+        Two instances whose origins have equal offsets to every track
+        pattern see identical on-track geometry, which is exactly the
+        unique-instance signature condition.
+        """
+        return (coordinate - self.start) % self.step

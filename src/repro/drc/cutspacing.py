@@ -1,0 +1,47 @@
+"""Cut-layer spacing checks."""
+
+from __future__ import annotations
+
+from repro.drc.violations import Violation
+from repro.geom.rect import Rect
+from repro.tech.layer import Layer
+
+
+def check_cut_spacing(
+    layer: Layer, cut: Rect, net_key, context, label: str = "cut"
+) -> list:
+    """Check a via cut against foreign cuts on the same cut layer.
+
+    Cut spacing applies between any two distinct cuts, same net or not
+    (two stacked vias of one net still need distinct-cut spacing), so
+    only an *identical* rect with the same net key is skipped -- that is
+    the cut itself appearing in the context.
+    """
+    rule = layer.cut_spacing
+    if rule is None:
+        return []
+    window = cut.bloated(rule.spacing)
+    violations = []
+    for other, other_key in context.query(layer.name, window):
+        if other == cut and other_key == net_key:
+            continue
+        if cut.overlaps(other):
+            violations.append(
+                Violation(
+                    rule="cut-short",
+                    layer_name=layer.name,
+                    marker=cut.intersection(other),
+                    objects=(label, str(other_key)),
+                )
+            )
+            continue
+        if cut.distance(other) < rule.spacing:
+            violations.append(
+                Violation(
+                    rule="cut-spacing",
+                    layer_name=layer.name,
+                    marker=cut.hull(other),
+                    objects=(label, str(other_key)),
+                )
+            )
+    return violations

@@ -1,0 +1,113 @@
+"""End-of-line spacing checks.
+
+LEF ``SPACING eolSpace ENDOFLINE eolWidth WITHIN eolWithin``: an edge
+shorter than ``eolWidth`` is a line end; foreign metal inside the
+trigger region ahead of the edge (eolSpace deep, widened sideways by
+eolWithin) violates.
+"""
+
+from __future__ import annotations
+
+from repro.drc.violations import Violation
+from repro.geom.rect import Rect
+from repro.tech.layer import Layer
+
+
+def eol_trigger_regions(layer: Layer, rect: Rect) -> list:
+    """Return the EOL trigger boxes of ``rect``'s line-end edges.
+
+    For an axis-aligned rectangle the candidate line ends are the two
+    edges perpendicular to its long axis; an edge qualifies when its
+    length is below ``eol_width``.
+    """
+    rule = layer.eol
+    if rule is None:
+        return []
+    regions = []
+    if rect.height < rule.eol_width:
+        # Left and right edges are line ends.
+        regions.append(
+            Rect(
+                rect.xlo - rule.eol_space,
+                rect.ylo - rule.eol_within,
+                rect.xlo,
+                rect.yhi + rule.eol_within,
+            )
+        )
+        regions.append(
+            Rect(
+                rect.xhi,
+                rect.ylo - rule.eol_within,
+                rect.xhi + rule.eol_space,
+                rect.yhi + rule.eol_within,
+            )
+        )
+    if rect.width < rule.eol_width:
+        # Bottom and top edges are line ends.
+        regions.append(
+            Rect(
+                rect.xlo - rule.eol_within,
+                rect.ylo - rule.eol_space,
+                rect.xhi + rule.eol_within,
+                rect.ylo,
+            )
+        )
+        regions.append(
+            Rect(
+                rect.xlo - rule.eol_within,
+                rect.yhi,
+                rect.xhi + rule.eol_within,
+                rect.yhi + rule.eol_space,
+            )
+        )
+    return regions
+
+
+def check_eol_spacing(
+    layer: Layer, rect: Rect, net_key, context, label: str = "metal"
+) -> list:
+    """Check EOL spacing of ``rect`` against foreign context shapes.
+
+    Symmetric: also flags foreign shapes whose own EOL trigger region
+    overlaps ``rect`` (LEF applies the rule from either side).
+    """
+    if layer.eol is None:
+        return []
+    violations = []
+    for region in eol_trigger_regions(layer, rect):
+        for other, other_key in context.query(layer.name, region):
+            if net_key is not None and other_key == net_key:
+                continue
+            if region.overlaps(other):
+                violations.append(
+                    Violation(
+                        rule="eol-spacing",
+                        layer_name=layer.name,
+                        marker=region.intersection(other),
+                        objects=(label, _describe(other_key)),
+                    )
+                )
+    # Reverse direction: foreign line ends facing our rect.
+    reach = layer.eol.eol_space + layer.eol.eol_within
+    for other, other_key in context.query(layer.name, rect.bloated(reach)):
+        if net_key is not None and other_key == net_key:
+            continue
+        for region in eol_trigger_regions(layer, other):
+            if region.overlaps(rect):
+                violations.append(
+                    Violation(
+                        rule="eol-spacing",
+                        layer_name=layer.name,
+                        marker=region.intersection(rect),
+                        objects=(_describe(other_key), label),
+                    )
+                )
+    return violations
+
+
+def _describe(net_key) -> str:
+    if net_key is None:
+        return "obstruction"
+    if isinstance(net_key, tuple):
+        return "/".join(str(part) for part in net_key)
+    return str(net_key)

@@ -1,0 +1,25 @@
+"""Min-area checks."""
+
+from __future__ import annotations
+
+from repro.drc.violations import Violation
+from repro.geom.polygon import RectilinearPolygon
+from repro.tech.layer import Layer
+
+
+def check_min_area(layer: Layer, rects: list, label: str = "metal") -> list:
+    """Check the union of ``rects`` against the layer's AREA rule."""
+    rule = layer.min_area
+    if rule is None or not rects:
+        return []
+    poly = RectilinearPolygon(rects)
+    if poly.area >= rule.min_area:
+        return []
+    return [
+        Violation(
+            rule="min-area",
+            layer_name=layer.name,
+            marker=poly.bbox,
+            objects=(label,),
+        )
+    ]

@@ -1,0 +1,59 @@
+"""Metal spacing checks (shorts + PRL spacing table)."""
+
+from __future__ import annotations
+
+from repro.drc.violations import Violation
+from repro.geom.rect import Rect
+from repro.tech.layer import Layer
+
+
+def check_metal_spacing(
+    layer: Layer, rect: Rect, net_key, context, label: str = "metal"
+) -> list:
+    """Check ``rect`` on ``layer`` against foreign context shapes.
+
+    Reports a ``metal-short`` when a foreign shape overlaps ``rect``
+    (area intersection) and a ``metal-spacing`` when the gap to a
+    foreign shape is below the PRL-table requirement.  Same-net shapes
+    are skipped.
+    """
+    if layer.spacing_table is None:
+        return []
+    reach = layer.max_rule_distance
+    window = rect.bloated(reach)
+    violations = []
+    for other, other_key in context.query(layer.name, window):
+        if net_key is not None and other_key == net_key:
+            continue
+        if rect.overlaps(other):
+            violations.append(
+                Violation(
+                    rule="metal-short",
+                    layer_name=layer.name,
+                    marker=rect.intersection(other),
+                    objects=(label, _describe(other_key)),
+                )
+            )
+            continue
+        dist = rect.distance(other)
+        prl = rect.prl(other)
+        width = max(rect.min_dim, other.min_dim)
+        required = layer.spacing_table.lookup(width, prl)
+        if dist < required:
+            violations.append(
+                Violation(
+                    rule="metal-spacing",
+                    layer_name=layer.name,
+                    marker=rect.hull(other),
+                    objects=(label, _describe(other_key)),
+                )
+            )
+    return violations
+
+
+def _describe(net_key) -> str:
+    if net_key is None:
+        return "obstruction"
+    if isinstance(net_key, tuple):
+        return "/".join(str(part) for part in net_key)
+    return str(net_key)

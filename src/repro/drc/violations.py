@@ -1,0 +1,28 @@
+"""Violation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.rect import Rect
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design rule violation.
+
+    ``rule`` is a short identifier (``metal-short``, ``metal-spacing``,
+    ``eol-spacing``, ``min-step``, ``min-area``, ``cut-spacing``);
+    ``layer_name`` the layer the violation is reported on; ``marker``
+    a rectangle locating it (the DRC marker box); ``objects`` a tuple
+    of human-readable descriptions of the offending shapes.
+    """
+
+    rule: str
+    layer_name: str
+    marker: Rect
+    objects: tuple = ()
+
+    def __str__(self) -> str:
+        who = f" between {', '.join(self.objects)}" if self.objects else ""
+        return f"{self.rule} on {self.layer_name} at {self.marker}{who}"

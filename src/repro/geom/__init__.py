@@ -1,0 +1,43 @@
+"""Manhattan geometry substrate for the PAO reproduction.
+
+All coordinates are integers in database units (DBU); by convention
+1000 DBU = 1 micron, matching DEF.  Every shape in the library is
+rectilinear: points, axis-aligned rectangles, and rectilinear polygons
+represented as unions of rectangles.
+
+The package provides:
+
+* :class:`Point` -- immutable 2-D integer point.
+* :class:`Interval` -- closed 1-D integer interval.
+* :class:`Rect` -- axis-aligned rectangle with the full set of
+  intersection / bloat / distance predicates used by the DRC engine.
+* :class:`RectilinearPolygon` / :func:`merge_rects` -- union-of-rects
+  polygon with boundary extraction (needed for min-step checks).
+* :func:`maximal_rectangles` -- all maximal rectangles of a rectilinear
+  polygon (needed for shape-center coordinate generation, paper Sec. II-C).
+* :class:`Orientation` / :class:`Transform` -- DEF placement orientations
+  (R0/R90/R180/R270/MX/MY/MX90/MY90) applied to points and rects.
+* :class:`GridIndex` -- bucketed spatial index used for region queries.
+"""
+
+from repro.geom.point import Point, manhattan_distance
+from repro.geom.interval import Interval
+from repro.geom.rect import Rect
+from repro.geom.polygon import RectilinearPolygon, merge_rects, boundary_edges
+from repro.geom.maxrect import maximal_rectangles
+from repro.geom.transform import Orientation, Transform
+from repro.geom.spatial import GridIndex
+
+__all__ = [
+    "Point",
+    "manhattan_distance",
+    "Interval",
+    "Rect",
+    "RectilinearPolygon",
+    "merge_rects",
+    "boundary_edges",
+    "maximal_rectangles",
+    "Orientation",
+    "Transform",
+    "GridIndex",
+]

@@ -1,0 +1,95 @@
+"""Closed 1-D integer intervals.
+
+Intervals are the workhorse of Manhattan DRC: parallel run length,
+span overlap and projection distance are all interval computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"interval lo {self.lo} > hi {self.hi}")
+
+    @property
+    def length(self) -> int:
+        """Return ``hi - lo`` (zero for a degenerate point interval)."""
+        return self.hi - self.lo
+
+    @property
+    def center(self) -> int:
+        """Return the midpoint, rounded toward ``lo``."""
+        return (self.lo + self.hi) // 2
+
+    def contains(self, value: int) -> bool:
+        """Return True if ``lo <= value <= hi``."""
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Return True if ``other`` lies entirely inside this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return True if the closed intervals share at least one point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def overlap_length(self, other: "Interval") -> int:
+        """Return the length of the overlap, or a negative gap distance.
+
+        A positive value is the parallel run length of two shapes whose
+        spans are these intervals; a negative value is minus the gap
+        between them; zero means the intervals abut or touch at a point.
+        """
+        return min(self.hi, other.hi) - max(self.lo, other.lo)
+
+    def distance(self, other: "Interval") -> int:
+        """Return the gap between the intervals (0 if they overlap/touch)."""
+        return max(0, max(self.lo, other.lo) - min(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Return the intersection; raises ValueError if disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            raise ValueError(f"intervals {self} and {other} are disjoint")
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Return the smallest interval containing both."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def bloated(self, amount: int) -> "Interval":
+        """Return the interval grown by ``amount`` on both ends."""
+        return Interval(self.lo - amount, self.hi + amount)
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def union_intervals(intervals: list) -> list:
+    """Merge a list of :class:`Interval` into disjoint sorted intervals.
+
+    Touching intervals (``a.hi == b.lo``) are merged, matching the
+    closed-interval semantics used for track spans and coverage tests.
+    """
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for iv in ordered[1:]:
+        last = merged[-1]
+        if iv.lo <= last.hi:
+            if iv.hi > last.hi:
+                merged[-1] = Interval(last.lo, iv.hi)
+        else:
+            merged.append(iv)
+    return merged

@@ -1,0 +1,98 @@
+"""Maximal rectangle enumeration for rectilinear polygons.
+
+The paper's *shape-center* coordinate type (Sec. II-C) is defined on
+"the maximum rectangles of the polygon(s) (all overlapping rectangles
+that are maximal in area)".  A rectangle is *maximal* if it lies inside
+the polygon and cannot be grown in any of the four directions without
+leaving it.
+"""
+
+from __future__ import annotations
+
+from repro.geom.polygon import RectilinearPolygon
+from repro.geom.rect import Rect
+
+
+def maximal_rectangles(poly: RectilinearPolygon) -> list:
+    """Return every maximal rectangle of ``poly``.
+
+    The algorithm enumerates candidate y windows from the polygon's
+    horizontal cut lines; for each window it intersects the covered x
+    intervals of all slabs spanning the window, then keeps the result
+    only if the window cannot be extended up or down.  Pin shapes have
+    a handful of rectangles, so the O(#cuts^2 * #slabs) cost is
+    negligible.
+    """
+    slabs = poly.merged
+    ys = sorted({r.ylo for r in slabs} | {r.yhi for r in slabs})
+    out = []
+    for a in range(len(ys) - 1):
+        for b in range(a + 1, len(ys)):
+            ylo, yhi = ys[a], ys[b]
+            xiv = _covered_x(slabs, ylo, yhi)
+            for xlo, xhi in xiv:
+                candidate = Rect(xlo, ylo, xhi, yhi)
+                if _is_maximal(slabs, candidate, ys):
+                    out.append(candidate)
+    out.sort()
+    return out
+
+
+def _covered_x(slabs: list, ylo: int, yhi: int) -> list:
+    """Return x intervals covered across the whole window [ylo, yhi]."""
+    rows = []
+    yprev = ylo
+    # The window is covered iff every elementary slab band inside it is.
+    bands = sorted({s.ylo for s in slabs} | {s.yhi for s in slabs})
+    bands = [y for y in bands if ylo <= y <= yhi]
+    if not bands or bands[0] != ylo or bands[-1] != yhi:
+        return []
+    for b0, b1 in zip(bands, bands[1:]):
+        mid = (b0 + b1) / 2.0
+        ivs = sorted(
+            (s.xlo, s.xhi) for s in slabs if s.ylo < mid < s.yhi
+        )
+        if not ivs:
+            return []
+        rows.append(ivs)
+        yprev = b1
+    # Intersect the per-band interval sets.
+    current = rows[0]
+    for row in rows[1:]:
+        current = _intersect_interval_lists(current, row)
+        if not current:
+            return []
+    return current
+
+
+def _intersect_interval_lists(a: list, b: list) -> list:
+    """Intersect two sorted disjoint (lo, hi) interval lists."""
+    out = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if lo < hi:
+            out.append((lo, hi))
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def _is_maximal(slabs: list, candidate: Rect, ys: list) -> bool:
+    """Return True if ``candidate`` cannot be grown in any direction."""
+    # Horizontal growth is impossible by construction (intervals are
+    # maximal), so only check vertical extension by one elementary band.
+    below = [y for y in ys if y < candidate.ylo]
+    above = [y for y in ys if y > candidate.yhi]
+    if below:
+        ext = _covered_x(slabs, below[-1], candidate.yhi)
+        if any(lo <= candidate.xlo and candidate.xhi <= hi for lo, hi in ext):
+            return False
+    if above:
+        ext = _covered_x(slabs, candidate.ylo, above[0])
+        if any(lo <= candidate.xlo and candidate.xhi <= hi for lo, hi in ext):
+            return False
+    return True

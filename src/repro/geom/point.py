@@ -1,0 +1,34 @@
+"""Integer 2-D points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable integer point in DBU.
+
+    Points order lexicographically by ``(x, y)``, which gives the
+    left-to-right, bottom-to-top ordering used throughout the pin access
+    flow (pin ordering, deterministic iteration).
+    """
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y})"
+
+
+def manhattan_distance(a: Point, b: Point) -> int:
+    """Return the L1 (Manhattan) distance between two points."""
+    return abs(a.x - b.x) + abs(a.y - b.y)

@@ -1,0 +1,291 @@
+"""Rectilinear polygons as unions of rectangles.
+
+Pin shapes in LEF are given as one or more (possibly overlapping)
+rectangles per layer.  The DRC engine needs two derived views:
+
+* a *disjoint decomposition* (:func:`merge_rects`) for area and coverage
+  computations, and
+* the *outer boundary* (:func:`boundary_edges`) as ordered edge loops,
+  which is what min-step checking walks (paper Figure 3: a via
+  enclosure that partially overhangs a pin shape creates short boundary
+  edges, i.e. min-step violations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geom.interval import Interval, union_intervals
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+
+
+def merge_rects(rects: list) -> list:
+    """Decompose the union of ``rects`` into disjoint horizontal slabs.
+
+    Returns a list of non-overlapping :class:`Rect` whose union equals
+    the union of the inputs.  Slabs are maximal in x and split at every
+    distinct y coordinate of the input, sorted bottom-to-top then
+    left-to-right, so the output is deterministic.
+    """
+    if not rects:
+        return []
+    ys = sorted({r.ylo for r in rects} | {r.yhi for r in rects})
+    slabs = []
+    for ylo, yhi in zip(ys, ys[1:]):
+        ymid = (ylo + yhi) / 2.0
+        xivs = [
+            Interval(r.xlo, r.xhi)
+            for r in rects
+            if r.ylo < ymid < r.yhi
+        ]
+        for iv in union_intervals(xivs):
+            slabs.append(Rect(iv.lo, ylo, iv.hi, yhi))
+    return _coalesce_slabs(slabs)
+
+
+def _coalesce_slabs(slabs: list) -> list:
+    """Vertically merge slabs that share identical x spans and abut in y."""
+    by_xspan = {}
+    for slab in slabs:
+        by_xspan.setdefault((slab.xlo, slab.xhi), []).append(slab)
+    merged = []
+    for (xlo, xhi), group in by_xspan.items():
+        group.sort(key=lambda r: r.ylo)
+        current = group[0]
+        for nxt in group[1:]:
+            if nxt.ylo == current.yhi:
+                current = Rect(xlo, current.ylo, xhi, nxt.yhi)
+            else:
+                merged.append(current)
+                current = nxt
+        merged.append(current)
+    merged.sort(key=lambda r: (r.ylo, r.xlo))
+    return merged
+
+
+@dataclass
+class _Edge:
+    """A directed boundary edge with the interior on its left."""
+
+    start: Point
+    end: Point
+
+
+def boundary_edges(rects: list) -> list:
+    """Return the boundary loops of the union of ``rects``.
+
+    Each loop is a list of :class:`Point` vertices in order, with the
+    polygon interior on the left of the direction of travel (outer
+    loops counterclockwise, hole loops clockwise).  Consecutive
+    collinear edges are merged, so every returned edge is a genuine
+    boundary edge with a corner at each end — exactly what min-step
+    checking needs.
+    """
+    if not rects:
+        return []
+    xs = sorted({r.xlo for r in rects} | {r.xhi for r in rects})
+    ys = sorted({r.ylo for r in rects} | {r.yhi for r in rects})
+
+    def covered(i: int, j: int) -> bool:
+        """Return True if elementary cell (i, j) is inside the union."""
+        if i < 0 or j < 0 or i >= len(xs) - 1 or j >= len(ys) - 1:
+            return False
+        cx = (xs[i] + xs[i + 1]) / 2.0
+        cy = (ys[j] + ys[j + 1]) / 2.0
+        return any(r.xlo < cx < r.xhi and r.ylo < cy < r.yhi for r in rects)
+
+    cover = [
+        [covered(i, j) for j in range(len(ys) - 1)] for i in range(len(xs) - 1)
+    ]
+
+    segments = []
+    # Horizontal boundary segments along y = ys[j].
+    for i in range(len(xs) - 1):
+        for j in range(len(ys)):
+            above = cover[i][j] if j < len(ys) - 1 else False
+            below = cover[i][j - 1] if j > 0 else False
+            if above and not below:
+                segments.append(
+                    _Edge(Point(xs[i], ys[j]), Point(xs[i + 1], ys[j]))
+                )
+            elif below and not above:
+                segments.append(
+                    _Edge(Point(xs[i + 1], ys[j]), Point(xs[i], ys[j]))
+                )
+    # Vertical boundary segments along x = xs[i].
+    for i in range(len(xs)):
+        for j in range(len(ys) - 1):
+            right = cover[i][j] if i < len(xs) - 1 else False
+            left = cover[i - 1][j] if i > 0 else False
+            if left and not right:
+                segments.append(
+                    _Edge(Point(xs[i], ys[j]), Point(xs[i], ys[j + 1]))
+                )
+            elif right and not left:
+                segments.append(
+                    _Edge(Point(xs[i], ys[j + 1]), Point(xs[i], ys[j]))
+                )
+
+    return _stitch_loops(segments)
+
+
+def _stitch_loops(segments: list) -> list:
+    """Stitch directed segments into closed vertex loops."""
+    outgoing = {}
+    for seg in segments:
+        outgoing.setdefault(seg.start, []).append(seg)
+    loops = []
+    used = set()
+    for seg in segments:
+        if id(seg) in used:
+            continue
+        loop = [seg.start]
+        current = seg
+        while True:
+            used.add(id(current))
+            loop.append(current.end)
+            if current.end == loop[0]:
+                break
+            candidates = [
+                s for s in outgoing.get(current.end, []) if id(s) not in used
+            ]
+            if not candidates:
+                break
+            # At a degenerate 4-way corner prefer the sharpest left turn so
+            # distinct loops never get cross-stitched.
+            current = min(
+                candidates, key=lambda s: _turn_key(current, s)
+            )
+        loops.append(_merge_collinear(loop))
+    return loops
+
+
+def _turn_key(incoming: _Edge, outgoing: _Edge) -> int:
+    """Rank outgoing edges: left turn < straight < right turn."""
+    din = (_sign(incoming.end.x - incoming.start.x),
+           _sign(incoming.end.y - incoming.start.y))
+    dout = (_sign(outgoing.end.x - outgoing.start.x),
+            _sign(outgoing.end.y - outgoing.start.y))
+    cross = din[0] * dout[1] - din[1] * dout[0]
+    # cross > 0 is a left turn (interior stays left), 0 straight, < 0 right.
+    return -cross
+
+
+def _sign(v: int) -> int:
+    if v > 0:
+        return 1
+    if v < 0:
+        return -1
+    return 0
+
+
+def _merge_collinear(loop: list) -> list:
+    """Drop intermediate vertices on straight runs; loop is closed."""
+    if len(loop) < 3:
+        return loop
+    pts = loop[:-1]  # drop the duplicated closing vertex
+    merged = []
+    n = len(pts)
+    for k in range(n):
+        prev_pt = pts[k - 1]
+        cur = pts[k]
+        nxt = pts[(k + 1) % n]
+        collinear = (prev_pt.x == cur.x == nxt.x) or (
+            prev_pt.y == cur.y == nxt.y
+        )
+        if not collinear:
+            merged.append(cur)
+    return merged
+
+
+@dataclass
+class RectilinearPolygon:
+    """The union of a set of rectangles, with cached derived views.
+
+    This is the shape model for pins and merged metal: LEF pins supply
+    overlapping rectangles; the polygon exposes the disjoint
+    decomposition, union area, bounding box, point membership and
+    boundary loops.
+    """
+
+    rects: list
+    _merged: list = field(default=None, repr=False, compare=False)
+    _loops: list = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.rects:
+            raise ValueError("polygon requires at least one rect")
+
+    @property
+    def merged(self) -> list:
+        """Return the disjoint slab decomposition (cached)."""
+        if self._merged is None:
+            self._merged = merge_rects(self.rects)
+        return self._merged
+
+    @property
+    def loops(self) -> list:
+        """Return the boundary loops (cached)."""
+        if self._loops is None:
+            self._loops = boundary_edges(self.rects)
+        return self._loops
+
+    @property
+    def bbox(self) -> Rect:
+        """Return the bounding rectangle of the union."""
+        r = self.rects[0]
+        xlo, ylo, xhi, yhi = r.xlo, r.ylo, r.xhi, r.yhi
+        for r in self.rects[1:]:
+            xlo = min(xlo, r.xlo)
+            ylo = min(ylo, r.ylo)
+            xhi = max(xhi, r.xhi)
+            yhi = max(yhi, r.yhi)
+        return Rect(xlo, ylo, xhi, yhi)
+
+    @property
+    def area(self) -> int:
+        """Return the union area."""
+        return sum(r.area for r in self.merged)
+
+    def contains_point(self, p: Point) -> bool:
+        """Return True if ``p`` lies inside or on the union boundary."""
+        return any(r.contains_point(p) for r in self.rects)
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """Return True if ``rect`` lies entirely inside the union.
+
+        Checked against the slab decomposition: the part of ``rect``
+        not yet covered must shrink to nothing.
+        """
+        remaining = [rect]
+        for slab in self.merged:
+            nxt = []
+            for piece in remaining:
+                if not piece.intersects(slab):
+                    nxt.append(piece)
+                    continue
+                nxt.extend(_subtract(piece, slab))
+            remaining = nxt
+            if not remaining:
+                return True
+        return not remaining
+
+    def is_single_rect(self) -> bool:
+        """Return True if the union is exactly one rectangle."""
+        return len(self.merged) == 1
+
+
+def _subtract(piece: Rect, hole: Rect) -> list:
+    """Return ``piece`` minus ``hole`` as up to four rects."""
+    out = []
+    inter = piece.intersection(hole)
+    if inter.ylo > piece.ylo:
+        out.append(Rect(piece.xlo, piece.ylo, piece.xhi, inter.ylo))
+    if inter.yhi < piece.yhi:
+        out.append(Rect(piece.xlo, inter.yhi, piece.xhi, piece.yhi))
+    if inter.xlo > piece.xlo:
+        out.append(Rect(piece.xlo, inter.ylo, inter.xlo, inter.yhi))
+    if inter.xhi < piece.xhi:
+        out.append(Rect(inter.xhi, inter.ylo, piece.xhi, inter.yhi))
+    return [r for r in out if r.width > 0 and r.height > 0]

@@ -1,0 +1,201 @@
+"""Axis-aligned integer rectangles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.interval import Interval
+from repro.geom.point import Point
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``.
+
+    Degenerate rectangles (zero width or height) are permitted; they
+    appear as track segments and via cut centerlines.  All DRC distance
+    predicates treat rectangles as closed sets, matching LEF/DEF
+    conventions where abutting shapes are connected.
+    """
+
+    xlo: int
+    ylo: int
+    xhi: int
+    yhi: int
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi or self.ylo > self.yhi:
+            raise ValueError(
+                f"malformed rect ({self.xlo}, {self.ylo}, {self.xhi}, {self.yhi})"
+            )
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def from_points(a: Point, b: Point) -> "Rect":
+        """Return the bounding rectangle of two corner points."""
+        return Rect(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+
+    @staticmethod
+    def centered_at(x: int, y: int, width: int, height: int) -> "Rect":
+        """Return a ``width x height`` rect centered at ``(x, y)``.
+
+        Odd sizes round the low side down, which matches how via
+        enclosures with odd overhang land on an integer grid.
+        """
+        return Rect(
+            x - width // 2,
+            y - height // 2,
+            x - width // 2 + width,
+            y - height // 2 + height,
+        )
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Return the x extent."""
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> int:
+        """Return the y extent."""
+        return self.yhi - self.ylo
+
+    @property
+    def min_dim(self) -> int:
+        """Return the smaller of width and height (the DRC 'width')."""
+        return min(self.width, self.height)
+
+    @property
+    def max_dim(self) -> int:
+        """Return the larger of width and height."""
+        return max(self.width, self.height)
+
+    @property
+    def area(self) -> int:
+        """Return width * height."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Return the center point (rounded toward the low corner)."""
+        return Point((self.xlo + self.xhi) // 2, (self.ylo + self.yhi) // 2)
+
+    @property
+    def xspan(self) -> Interval:
+        """Return the x interval."""
+        return Interval(self.xlo, self.xhi)
+
+    @property
+    def yspan(self) -> Interval:
+        """Return the y interval."""
+        return Interval(self.ylo, self.yhi)
+
+    def corners(self) -> list:
+        """Return the four corner points, counterclockwise from low-left."""
+        return [
+            Point(self.xlo, self.ylo),
+            Point(self.xhi, self.ylo),
+            Point(self.xhi, self.yhi),
+            Point(self.xlo, self.yhi),
+        ]
+
+    # -- predicates -------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """Return True if ``p`` is inside or on the boundary."""
+        return self.xlo <= p.x <= self.xhi and self.ylo <= p.y <= self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return True if ``other`` lies entirely inside this rect."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True if the closed rectangles share at least a point."""
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Return True if the open interiors intersect (area overlap)."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    # -- construction of derived rects -------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """Return the intersection rect; raises ValueError if disjoint."""
+        if not self.intersects(other):
+            raise ValueError(f"rects {self} and {other} do not intersect")
+        return Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+
+    def hull(self, other: "Rect") -> "Rect":
+        """Return the smallest rect containing both."""
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def bloated(self, amount: int) -> "Rect":
+        """Return the rect grown (or shrunk, if negative) by ``amount``."""
+        return Rect(
+            self.xlo - amount,
+            self.ylo - amount,
+            self.xhi + amount,
+            self.yhi + amount,
+        )
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    # -- metric -------------------------------------------------------------
+
+    def distance(self, other: "Rect") -> int:
+        """Return the Euclidean-free Manhattan-style DRC distance.
+
+        For rectangles with overlapping spans in one axis this is the
+        gap in the other axis; for diagonally separated rectangles it
+        is the Euclidean corner-to-corner distance rounded down, which
+        is how LEF spacing is measured for corner-to-corner cases.
+        """
+        dx = self.xspan.distance(other.xspan)
+        dy = self.yspan.distance(other.yspan)
+        if dx and dy:
+            return int((dx * dx + dy * dy) ** 0.5)
+        return max(dx, dy)
+
+    def prl(self, other: "Rect") -> int:
+        """Return the parallel run length between two rects.
+
+        The PRL is the larger of the two span overlaps; a negative
+        value means the rects are diagonal to each other.  This is the
+        quantity looked up in LEF ``SPACINGTABLE PARALLELRUNLENGTH``.
+        """
+        return max(
+            self.xspan.overlap_length(other.xspan),
+            self.yspan.overlap_length(other.yspan),
+        )
+
+    def __str__(self) -> str:
+        return f"({self.xlo}, {self.ylo}) - ({self.xhi}, {self.yhi})"

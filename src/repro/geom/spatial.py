@@ -1,0 +1,77 @@
+"""Bucketed spatial index for region queries.
+
+The DRC engine and the router both need "give me every shape whose
+bounding box intersects this window" queries over tens of thousands of
+rectangles.  A uniform grid of buckets is simple, deterministic and
+fast for the IC layout case where shapes are small relative to the die.
+"""
+
+from __future__ import annotations
+
+from repro.geom.rect import Rect
+
+
+class GridIndex:
+    """A uniform-grid spatial index mapping rects to arbitrary payloads.
+
+    ``bucket`` is the grid pitch in DBU.  Payloads are returned in
+    insertion order (deduplicated), which keeps every query
+    deterministic.
+    """
+
+    def __init__(self, bucket: int = 10000):
+        if bucket <= 0:
+            raise ValueError("bucket size must be positive")
+        self._bucket = bucket
+        self._cells = {}
+        self._items = []  # (rect, payload) in insertion order
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def insert(self, rect: Rect, payload) -> None:
+        """Index ``payload`` under ``rect``."""
+        idx = len(self._items)
+        self._items.append((rect, payload))
+        for key in self._keys(rect):
+            self._cells.setdefault(key, []).append(idx)
+
+    def query(self, window: Rect) -> list:
+        """Return payloads whose rect intersects ``window`` (closed)."""
+        seen = set()
+        hits = []
+        for key in self._keys(window):
+            for idx in self._cells.get(key, ()):
+                if idx in seen:
+                    continue
+                seen.add(idx)
+                rect, payload = self._items[idx]
+                if rect.intersects(window):
+                    hits.append((rect, payload))
+        hits.sort(key=lambda pair: pair[0])
+        return [payload for _, payload in hits]
+
+    def query_pairs(self, window: Rect) -> list:
+        """Like :meth:`query` but returns ``(rect, payload)`` pairs."""
+        seen = set()
+        hits = []
+        for key in self._keys(window):
+            for idx in self._cells.get(key, ()):
+                if idx in seen:
+                    continue
+                seen.add(idx)
+                rect, payload = self._items[idx]
+                if rect.intersects(window):
+                    hits.append((rect, payload))
+        hits.sort(key=lambda pair: pair[0])
+        return hits
+
+    def all_items(self) -> list:
+        """Return every ``(rect, payload)`` pair in insertion order."""
+        return list(self._items)
+
+    def _keys(self, rect: Rect):
+        b = self._bucket
+        for ix in range(rect.xlo // b, rect.xhi // b + 1):
+            for iy in range(rect.ylo // b, rect.yhi // b + 1):
+                yield (ix, iy)

@@ -1,0 +1,116 @@
+"""DEF placement orientations and the master-to-design transform.
+
+A component in DEF is placed with one of eight orientations.  The
+transform maps a point in *master* coordinates (origin at the master's
+lower-left corner) to *design* coordinates such that the transformed
+bounding box's lower-left lands on the placement location, which is the
+DEF convention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+
+
+class Orientation(enum.Enum):
+    """DEF component orientations (LEF/DEF 5.8 names in comments)."""
+
+    R0 = "N"      # north
+    R90 = "W"     # west
+    R180 = "S"    # south
+    R270 = "E"    # east
+    MY = "FN"     # flipped north  (mirror about the y axis)
+    MX = "FS"     # flipped south  (mirror about the x axis)
+    MX90 = "FW"   # flipped west
+    MY90 = "FE"   # flipped east
+
+    @staticmethod
+    def from_def_name(name: str) -> "Orientation":
+        """Parse a DEF orientation keyword (N, S, W, E, FN, FS, FW, FE)."""
+        for orient in Orientation:
+            if orient.value == name:
+                return orient
+        raise ValueError(f"unknown DEF orientation {name!r}")
+
+    @property
+    def def_name(self) -> str:
+        """Return the DEF keyword for this orientation."""
+        return self.value
+
+    @property
+    def swaps_axes(self) -> bool:
+        """Return True if width and height exchange under this orientation."""
+        return self in (
+            Orientation.R90,
+            Orientation.R270,
+            Orientation.MX90,
+            Orientation.MY90,
+        )
+
+
+@dataclass(frozen=True)
+class Transform:
+    """Maps master coordinates to design coordinates.
+
+    ``offset`` is the DEF placement point; ``width``/``height`` are the
+    master's dimensions (pre-orientation).
+    """
+
+    offset: Point
+    orient: Orientation
+    width: int
+    height: int
+
+    def apply_point(self, p: Point) -> Point:
+        """Transform a master-space point into design space."""
+        x, y = p.x, p.y
+        w, h = self.width, self.height
+        o = self.orient
+        if o is Orientation.R0:
+            tx, ty = x, y
+        elif o is Orientation.R180:
+            tx, ty = w - x, h - y
+        elif o is Orientation.R90:
+            tx, ty = h - y, x
+        elif o is Orientation.R270:
+            tx, ty = y, w - x
+        elif o is Orientation.MY:
+            tx, ty = w - x, y
+        elif o is Orientation.MX:
+            tx, ty = x, h - y
+        elif o is Orientation.MX90:
+            tx, ty = y, x
+        elif o is Orientation.MY90:
+            tx, ty = h - y, w - x
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(o)
+        return Point(tx + self.offset.x, ty + self.offset.y)
+
+    def apply_rect(self, r: Rect) -> Rect:
+        """Transform a master-space rect into design space."""
+        a = self.apply_point(Point(r.xlo, r.ylo))
+        b = self.apply_point(Point(r.xhi, r.yhi))
+        return Rect.from_points(a, b)
+
+    @property
+    def placed_width(self) -> int:
+        """Return the design-space width of the placed master."""
+        return self.height if self.orient.swaps_axes else self.width
+
+    @property
+    def placed_height(self) -> int:
+        """Return the design-space height of the placed master."""
+        return self.width if self.orient.swaps_axes else self.height
+
+    def bbox(self) -> Rect:
+        """Return the design-space bounding box of the placed master."""
+        return Rect(
+            self.offset.x,
+            self.offset.y,
+            self.offset.x + self.placed_width,
+            self.offset.y + self.placed_height,
+        )

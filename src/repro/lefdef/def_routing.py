@@ -1,0 +1,176 @@
+"""Routed-net DEF I/O (``+ ROUTED`` wiring statements).
+
+A detailed router's output is DEF regular wiring: per net, a list of
+layer-tagged paths and via placements::
+
+    - net_1 ( inst_1 ZN ) ( inst_2 A )
+      + ROUTED M2 ( 1470 2030 ) ( 1470 3430 )
+        NEW M3 ( 1470 3430 ) ( 2870 3430 )
+        NEW M2 ( 1470 2030 ) V12_P ;
+
+This module serializes a :class:`~repro.route.RoutingResult` into that
+form and parses it back, so routed designs round-trip through text the
+way contest evaluation flows consume them.
+"""
+
+from __future__ import annotations
+
+from repro.db.design import Design
+from repro.geom.rect import Rect
+from repro.route.router import RoutingResult
+
+
+def write_routed_def(design: Design, result: RoutingResult) -> str:
+    """Serialize design + routing to DEF with ROUTED statements."""
+    from repro.lefdef.def_writer import write_def
+
+    base = write_def(design)
+    lines = base.splitlines()
+    wires_by_net = {}
+    for net_name, layer_name, rect in result.wires:
+        wires_by_net.setdefault(net_name, []).append((layer_name, rect))
+    vias_by_net = {}
+    for net_name, via_name, x, y in result.vias:
+        vias_by_net.setdefault(net_name, []).append((via_name, x, y))
+
+    out = []
+    for line in lines:
+        if line.startswith("- net_") or (
+            line.startswith("- ") and _is_net_line(line, design)
+        ):
+            net_name = line.split()[1]
+            statement = line.rstrip()
+            assert statement.endswith(";")
+            statement = statement[:-1].rstrip()
+            routing = _routing_clause(
+                design,
+                wires_by_net.get(net_name, ()),
+                vias_by_net.get(net_name, ()),
+            )
+            if routing:
+                statement += "\n" + routing
+            out.append(statement + " ;")
+        else:
+            out.append(line)
+    return "\n".join(out) + "\n"
+
+
+def _is_net_line(line: str, design: Design) -> bool:
+    parts = line.split()
+    return len(parts) > 1 and parts[1] in design.nets
+
+
+def _routing_clause(design: Design, wires, vias) -> str:
+    """Build the ``+ ROUTED ...`` clause for one net."""
+    segments = []
+    for layer_name, rect in wires:
+        layer = design.tech.layer(layer_name)
+        half = layer.width // 2
+        if rect.width >= rect.height:
+            y = (rect.ylo + rect.yhi) // 2
+            points = f"( {rect.xlo + half} {y} ) ( {rect.xhi - half} {y} )"
+        else:
+            x = (rect.xlo + rect.xhi) // 2
+            points = f"( {x} {rect.ylo + half} ) ( {x} {rect.yhi - half} )"
+        segments.append(f"{layer_name} {points}")
+    for via_name, x, y in vias:
+        via = design.tech.via(via_name)
+        segments.append(f"{via.bottom_layer} ( {x} {y} ) {via_name}")
+    if not segments:
+        return ""
+    first, *rest = segments
+    lines = [f"  + ROUTED {first}"]
+    lines.extend(f"    NEW {seg}" for seg in rest)
+    return "\n".join(lines)
+
+
+def parse_routed_def(text: str, tech, masters) -> tuple:
+    """Parse a routed DEF; returns ``(design, RoutingResult)``.
+
+    The plain connectivity is parsed by :func:`repro.lefdef.parse_def`
+    (ROUTED clauses are transparent to it); this function additionally
+    reconstructs the wires and vias.
+    """
+    from repro.lefdef.def_parser import parse_def
+
+    design = parse_def(_strip_routing(text), tech, masters)
+    result = RoutingResult()
+    for net_name, clauses in _routing_clauses(text):
+        for clause in clauses:
+            _decode_clause(design, net_name, clause, result)
+    routed_nets = {net for net, _, _ in result.wires}
+    result.routed_nets = len(routed_nets)
+    return design, result
+
+
+def _strip_routing(text: str) -> str:
+    out = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("+ ROUTED") or stripped.startswith("NEW "):
+            # Preserve the statement terminator if it rides this line.
+            if stripped.endswith(";"):
+                out.append(";")
+            continue
+        out.append(line)
+    return "\n".join(out)
+
+
+def _routing_clauses(text: str):
+    """Yield (net name, [clause tokens...]) for each routed net."""
+    current_net = None
+    clauses = []
+    in_nets = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("NETS "):
+            in_nets = True
+            continue
+        if stripped.startswith("END NETS"):
+            if current_net and clauses:
+                yield current_net, clauses
+            in_nets = False
+            continue
+        if not in_nets:
+            continue
+        if stripped.startswith("- "):
+            if current_net and clauses:
+                yield current_net, clauses
+            current_net = stripped.split()[1]
+            clauses = []
+        elif stripped.startswith("+ ROUTED") or stripped.startswith("NEW "):
+            clause = stripped.replace("+ ROUTED", "", 1)
+            clause = clause.replace("NEW ", "", 1).rstrip(" ;")
+            clauses.append(clause.split())
+    if current_net and clauses:
+        yield current_net, clauses
+
+
+def _decode_clause(design, net_name, tokens, result) -> None:
+    """Decode one routed clause back into a wire rect or a via."""
+    layer_name = tokens[0]
+    rest = tokens[1:]
+    points = []
+    via_name = None
+    k = 0
+    while k < len(rest):
+        if rest[k] == "(":
+            points.append((int(rest[k + 1]), int(rest[k + 2])))
+            k += 4
+        else:
+            via_name = rest[k]
+            k += 1
+    if via_name is not None:
+        x, y = points[0]
+        result.vias.append((net_name, via_name, x, y))
+        return
+    (x1, y1), (x2, y2) = points
+    layer = design.tech.layer(layer_name)
+    half = layer.width // 2
+    rect = Rect(
+        min(x1, x2) - half,
+        min(y1, y2) - half,
+        max(x1, x2) + half,
+        max(y1, y2) + half,
+    )
+    result.wires.append((net_name, layer_name, rect))

@@ -1,0 +1,77 @@
+"""DEF 5.8 writer (the subset the flow consumes)."""
+
+from __future__ import annotations
+
+from repro.db.design import Design
+from repro.tech.layer import RoutingDirection
+
+
+def write_def(design: Design) -> str:
+    """Serialize a design's placement and connectivity to DEF text."""
+    out = []
+    die = design.die_area
+    out.append("VERSION 5.8 ;")
+    out.append("DIVIDERCHAR \"/\" ;")
+    out.append("BUSBITCHARS \"[]\" ;")
+    out.append(f"DESIGN {design.name} ;")
+    out.append(f"UNITS DISTANCE MICRONS {design.tech.dbu_per_micron} ;")
+    out.append(
+        f"DIEAREA ( {die.xlo} {die.ylo} ) ( {die.xhi} {die.yhi} ) ;"
+    )
+    out.append("")
+    for row in design.rows:
+        out.append(
+            f"ROW {row.name} {design.tech.site_name} "
+            f"{row.origin.x} {row.origin.y} {row.orient.def_name} "
+            f"DO {row.count} BY 1 STEP {row.site_width} 0 ;"
+        )
+    out.append("")
+    for pattern in design.track_patterns:
+        axis = (
+            "Y"
+            if pattern.direction is RoutingDirection.HORIZONTAL
+            else "X"
+        )
+        out.append(
+            f"TRACKS {axis} {pattern.start} DO {pattern.count} "
+            f"STEP {pattern.step} LAYER {pattern.layer_name} ;"
+        )
+    out.append("")
+    out.append(f"COMPONENTS {len(design.instances)} ;")
+    for inst in design.instances.values():
+        status = "FIXED" if inst.master.is_macro else "PLACED"
+        out.append(
+            f"- {inst.name} {inst.master.name} + {status} "
+            f"( {inst.location.x} {inst.location.y} ) "
+            f"{inst.orient.def_name} ;"
+        )
+    out.append("END COMPONENTS")
+    out.append("")
+    out.append(f"PINS {len(design.io_pins)} ;")
+    net_of_io = {}
+    for net in design.nets.values():
+        for io_name in net.io_pins:
+            net_of_io[io_name] = net.name
+    for pin in design.io_pins.values():
+        rect = pin.rect
+        net_name = net_of_io.get(pin.name, pin.name)
+        out.append(
+            f"- {pin.name} + NET {net_name} + DIRECTION INPUT "
+            f"+ LAYER {pin.layer_name} "
+            f"( {rect.xlo} {rect.ylo} ) ( {rect.xhi} {rect.yhi} ) "
+            f"+ PLACED ( 0 0 ) N ;"
+        )
+    out.append("END PINS")
+    out.append("")
+    out.append(f"NETS {len(design.nets)} ;")
+    for net in design.nets.values():
+        terms = []
+        for inst_name, pin_name in net.terms:
+            terms.append(f"( {inst_name} {pin_name} )")
+        for io_name in net.io_pins:
+            terms.append(f"( PIN {io_name} )")
+        out.append(f"- {net.name} {' '.join(terms)} ;")
+    out.append("END NETS")
+    out.append("")
+    out.append("END DESIGN")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,132 @@
+"""LEF 5.8 writer (the subset the flow consumes)."""
+
+from __future__ import annotations
+
+from repro.db.master import CellMaster, PinUse
+from repro.tech.technology import Technology
+
+
+def write_lef(tech: Technology, masters: list = None) -> str:
+    """Serialize a technology (and optional cell masters) to LEF text."""
+    out = []
+    dbu = tech.dbu_per_micron
+
+    def um(value: int) -> str:
+        return _fmt(value / dbu)
+
+    out.append("VERSION 5.8 ;")
+    out.append("BUSBITCHARS \"[]\" ;")
+    out.append("DIVIDERCHAR \"/\" ;")
+    out.append("UNITS")
+    out.append(f"  DATABASE MICRONS {dbu} ;")
+    out.append("END UNITS")
+    out.append(f"MANUFACTURINGGRID {um(tech.manufacturing_grid)} ;")
+    out.append("")
+    if tech.site_width and tech.site_height:
+        out.append(f"SITE {tech.site_name}")
+        out.append("  CLASS CORE ;")
+        out.append(f"  SIZE {um(tech.site_width)} BY {um(tech.site_height)} ;")
+        out.append(f"END {tech.site_name}")
+        out.append("")
+    for layer in tech.layers:
+        out.extend(_layer_lines(layer, um, dbu))
+        out.append("")
+    for via in tech.vias:
+        out.append(f"VIA {via.name} DEFAULT")
+        for layer_name, rect in (
+            (via.bottom_layer, via.bottom_enc),
+            (via.cut_layer, via.cut),
+            (via.top_layer, via.top_enc),
+        ):
+            out.append(f"  LAYER {layer_name} ;")
+            out.append(
+                f"    RECT {um(rect.xlo)} {um(rect.ylo)} "
+                f"{um(rect.xhi)} {um(rect.yhi)} ;"
+            )
+        out.append(f"END {via.name}")
+        out.append("")
+    for master in masters or []:
+        out.extend(_macro_lines(master, um))
+        out.append("")
+    out.append("END LIBRARY")
+    return "\n".join(out) + "\n"
+
+
+def _layer_lines(layer, um, dbu) -> list:
+    out = [f"LAYER {layer.name}"]
+    out.append(f"  TYPE {layer.kind.value} ;")
+    if layer.is_routing:
+        out.append(f"  DIRECTION {layer.direction.value} ;")
+        out.append(f"  PITCH {um(layer.pitch)} ;")
+        out.append(f"  OFFSET {um(layer.offset)} ;")
+        out.append(f"  WIDTH {um(layer.width)} ;")
+        if layer.spacing_table is not None:
+            table = layer.spacing_table
+            prl = " ".join(um(v) for v in table.prl_values)
+            out.append("  SPACINGTABLE")
+            out.append(f"    PARALLELRUNLENGTH {prl}")
+            for k, (width, spacings) in enumerate(table.width_rows):
+                row = " ".join(um(s) for s in spacings)
+                tail = " ;" if k == len(table.width_rows) - 1 else ""
+                out.append(f"    WIDTH {um(width)} {row}{tail}")
+        if layer.eol is not None:
+            out.append(
+                f"  SPACING {um(layer.eol.eol_space)} ENDOFLINE "
+                f"{um(layer.eol.eol_width)} WITHIN "
+                f"{um(layer.eol.eol_within)} ;"
+            )
+        if layer.min_step is not None:
+            out.append(
+                f"  MINSTEP {um(layer.min_step.min_step_length)} "
+                f"MAXEDGES {layer.min_step.max_edges} ;"
+            )
+        if layer.min_area is not None:
+            # AREA is in square microns.
+            out.append(f"  AREA {_fmt(layer.min_area.min_area / (dbu * dbu))} ;")
+    if layer.is_cut and layer.cut_spacing is not None:
+        out.append(f"  SPACING {um(layer.cut_spacing.spacing)} ;")
+    out.append(f"END {layer.name}")
+    return out
+
+
+def _macro_lines(master: CellMaster, um) -> list:
+    out = [f"MACRO {master.name}"]
+    out.append(f"  CLASS {'BLOCK' if master.is_macro else 'CORE'} ;")
+    out.append("  ORIGIN 0 0 ;")
+    out.append(f"  SIZE {um(master.width)} BY {um(master.height)} ;")
+    if master.site_name:
+        out.append(f"  SITE {master.site_name} ;")
+    for pin in master.pins:
+        direction = "OUTPUT" if pin.name.startswith(("Z", "Q", "P")) else "INPUT"
+        if pin.use in (PinUse.POWER, PinUse.GROUND):
+            direction = "INOUT"
+        out.append(f"  PIN {pin.name}")
+        out.append(f"    DIRECTION {direction} ;")
+        out.append(f"    USE {pin.use.value} ;")
+        out.append("    PORT")
+        for layer_name in sorted(pin.shapes):
+            out.append(f"      LAYER {layer_name} ;")
+            for rect in pin.shapes[layer_name]:
+                out.append(
+                    f"        RECT {um(rect.xlo)} {um(rect.ylo)} "
+                    f"{um(rect.xhi)} {um(rect.yhi)} ;"
+                )
+        out.append("    END")
+        out.append(f"  END {pin.name}")
+    if master.obstructions:
+        out.append("  OBS")
+        for obs in master.obstructions:
+            out.append(f"    LAYER {obs.layer_name} ;")
+            out.append(
+                f"      RECT {um(obs.rect.xlo)} {um(obs.rect.ylo)} "
+                f"{um(obs.rect.xhi)} {um(obs.rect.yhi)} ;"
+            )
+        out.append("  END")
+    out.append(f"END {master.name}")
+    return out
+
+
+def _fmt(value: float) -> str:
+    """Format a micron value without trailing zero noise."""
+    text = f"{value:.6f}".rstrip("0").rstrip(".")
+    return text if text else "0"

@@ -1,0 +1,21 @@
+"""Reporting: the paper's table layouts as plain-text renderers."""
+
+from repro.report.tables import (
+    format_table,
+    table1_row,
+    table2_row,
+    table3_row,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "format_table",
+    "table1_row",
+    "table2_row",
+    "table3_row",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

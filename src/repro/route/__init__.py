@@ -1,0 +1,31 @@
+"""Detailed routing substrate for Experiment 3.
+
+The paper's Experiment 3 integrates PAAF into TritonRoute and compares
+the final routed design's DRC count against Dr. CU 2.0 (Figure 8).
+Neither router is reproducible line-for-line in this scope, so this
+package provides a track-graph A* detailed router that is held
+constant across comparisons -- only the *pin access strategy* changes:
+
+* ``pao`` mode consumes the access map selected by
+  :class:`~repro.core.PinAccessFramework` (validated vias, pattern
+  compatibility), and
+* ``drcu`` mode consumes a Dr. CU-style access map (on-track crossing
+  points with no design-rule-aware via model), produced by
+  :class:`~repro.core.LegacyPinAccess`.
+
+The routed layout is then scored by the same DRC engine, reproducing
+the experiment's shape: orders of magnitude fewer DRCs with
+access-aware routing.
+"""
+
+from repro.route.grid import RoutingGrid
+from repro.route.astar import astar_route
+from repro.route.router import DetailedRouter, RoutingResult, count_route_drcs
+
+__all__ = [
+    "RoutingGrid",
+    "astar_route",
+    "DetailedRouter",
+    "RoutingResult",
+    "count_route_drcs",
+]

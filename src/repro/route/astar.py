@@ -1,0 +1,98 @@
+"""A* search over the routing grid."""
+
+from __future__ import annotations
+
+import heapq
+
+WIRE_COST = 1
+VIA_COST = 4
+
+
+def astar_route(
+    grid,
+    sources: set,
+    targets: set,
+    net_name: str,
+    bounds: tuple = None,
+    max_expansions: int = 200000,
+) -> list:
+    """Find a node path from any source to any target.
+
+    ``sources``/``targets`` are sets of grid nodes.  ``bounds`` is an
+    optional ``(ilo, jlo, ihi, jhi)`` search window (grid indices);
+    nodes outside it are not expanded.  Returns the node path
+    (source..target inclusive) or None when no path exists within the
+    expansion budget.
+    """
+    if not sources or not targets:
+        return None
+    target_points = [grid.point_of(t) for t in targets]
+    target_set = set(targets)
+
+    def heuristic(node):
+        x, y = grid.point_of(node)
+        best = min(
+            abs(x - tx) + abs(y - ty) for tx, ty in target_points
+        )
+        # Scale distance to track steps so the heuristic stays
+        # admissible against WIRE_COST-per-step edges.
+        step = min(
+            grid.xs[1] - grid.xs[0] if len(grid.xs) > 1 else 1,
+            grid.ys[1] - grid.ys[0] if len(grid.ys) > 1 else 1,
+        )
+        return WIRE_COST * best // max(1, step)
+
+    open_heap = []
+    best_cost = {}
+    came_from = {}
+    counter = 0
+    for s in sources:
+        heapq.heappush(open_heap, (heuristic(s), counter, s))
+        counter += 1
+        best_cost[s] = 0
+
+    expansions = 0
+    while open_heap:
+        _, _, node = heapq.heappop(open_heap)
+        if node in target_set:
+            return _reconstruct(came_from, node)
+        expansions += 1
+        if expansions > max_expansions:
+            return None
+        node_cost = best_cost[node]
+        for neighbor, kind in grid.neighbors(node):
+            if bounds is not None and not _inside(neighbor, bounds):
+                continue
+            if not grid.is_free(neighbor, net_name):
+                continue
+            if kind == "via":
+                lower = node if node[0] < neighbor[0] else neighbor
+                if not grid.via_allowed(lower, net_name):
+                    continue
+                edge = VIA_COST
+            else:
+                edge = WIRE_COST
+            cost = node_cost + edge
+            if cost < best_cost.get(neighbor, float("inf")):
+                best_cost[neighbor] = cost
+                came_from[neighbor] = node
+                heapq.heappush(
+                    open_heap, (cost + heuristic(neighbor), counter, neighbor)
+                )
+                counter += 1
+    return None
+
+
+def _inside(node, bounds) -> bool:
+    _, i, j = node
+    ilo, jlo, ihi, jhi = bounds
+    return ilo <= i <= ihi and jlo <= j <= jhi
+
+
+def _reconstruct(came_from, node) -> list:
+    path = [node]
+    while node in came_from:
+        node = came_from[node]
+        path.append(node)
+    path.reverse()
+    return path

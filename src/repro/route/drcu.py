@@ -1,0 +1,22 @@
+"""Dr. CU 2.0-style comparator mode (paper Experiment 3, Figure 8).
+
+Dr. CU is correct-by-construction for wire-to-wire rules but, as the
+paper's Figure 8 shows, its pin accesses on the ISPD-2018 suite leave
+DRCs at the via-in-pin landing: the access model is an on-track
+crossing point without a design-rule-aware via check.  That is exactly
+the legacy strategy implemented by
+:class:`~repro.core.baseline.LegacyPinAccess`, so the comparator mode
+is: same router, access map from the legacy flow.
+"""
+
+from __future__ import annotations
+
+from repro.core.baseline import LegacyPinAccess
+from repro.db.design import Design
+
+
+def drcu_access_map(design: Design) -> dict:
+    """Return the Dr. CU-style access map for ``design``."""
+    legacy = LegacyPinAccess(design)
+    result = legacy.run()
+    return legacy.access_map(result)

@@ -1,0 +1,155 @@
+"""The routing grid: a 3-D track graph over M2..M6.
+
+Nodes are intersections of vertical-layer tracks (x coordinates) with
+horizontal-layer tracks (y coordinates), replicated across the routing
+layers.  A node is addressed ``(l, i, j)`` where ``l`` is the layer
+index within the grid's layer list and ``i``/``j`` index the x/y
+coordinate arrays.  Edges run along each layer's preferred direction;
+vias connect vertically adjacent layers at the same (i, j).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.db.design import Design
+from repro.tech.layer import RoutingDirection
+
+
+class RoutingGrid:
+    """Track graph geometry and occupancy for one design."""
+
+    def __init__(self, design: Design, layer_names: list = None):
+        self.design = design
+        tech = design.tech
+        if layer_names is None:
+            layer_names = [
+                l.name
+                for l in tech.routing_layers()
+                if l.name not in ("M1",)
+            ][:5]  # M2..M6
+        self.layers = [tech.layer(name) for name in layer_names]
+        self._layer_index = {l.name: k for k, l in enumerate(self.layers)}
+
+        self.xs = self._axis_coords(RoutingDirection.VERTICAL)
+        self.ys = self._axis_coords(RoutingDirection.HORIZONTAL)
+        if not self.xs or not self.ys:
+            raise ValueError("design has no track patterns for the grid")
+        # node -> net name
+        self.occupancy = {}
+        # cut-layer exclusion: (cut level, i, j) -> net name, bloated to
+        # neighbors so foreign vias never land at adjacent track nodes
+        # (cut spacing is larger than one track gap minus a cut width).
+        self.via_occupancy = {}
+
+    def _axis_coords(self, direction) -> list:
+        coords = set()
+        for layer in self.layers:
+            if layer.direction is not direction:
+                continue
+            for pattern in self.design.track_patterns_on(layer.name):
+                if pattern.direction is direction:
+                    coords.update(pattern.coordinates())
+        return sorted(coords)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        """Return the number of grid layers."""
+        return len(self.layers)
+
+    def layer_of(self, l: int):
+        """Return the Layer object at grid level ``l``."""
+        return self.layers[l]
+
+    def level_of(self, layer_name: str) -> int:
+        """Return the grid level of ``layer_name``."""
+        return self._layer_index[layer_name]
+
+    def point_of(self, node: tuple) -> tuple:
+        """Return the (x, y) of node ``(l, i, j)``."""
+        _, i, j = node
+        return (self.xs[i], self.ys[j])
+
+    def nearest_index(self, x: int, y: int) -> tuple:
+        """Return the (i, j) of the grid point nearest (x, y)."""
+        return (
+            _nearest(self.xs, x),
+            _nearest(self.ys, y),
+        )
+
+    def neighbors(self, node: tuple) -> list:
+        """Yield (neighbor node, move kind) pairs.
+
+        Moves along the layer's preferred direction cost as wire;
+        level changes cost as vias.  ``kind`` is ``"wire"`` or
+        ``"via"``.
+        """
+        l, i, j = node
+        layer = self.layers[l]
+        out = []
+        if layer.is_horizontal:
+            if i > 0:
+                out.append(((l, i - 1, j), "wire"))
+            if i < len(self.xs) - 1:
+                out.append(((l, i + 1, j), "wire"))
+        else:
+            if j > 0:
+                out.append(((l, i, j - 1), "wire"))
+            if j < len(self.ys) - 1:
+                out.append(((l, i, j + 1), "wire"))
+        if l > 0:
+            out.append(((l - 1, i, j), "via"))
+        if l < len(self.layers) - 1:
+            out.append(((l + 1, i, j), "via"))
+        return out
+
+    # -- occupancy -----------------------------------------------------------
+
+    def is_free(self, node: tuple, net_name: str) -> bool:
+        """Return True if ``node`` is unoccupied or owned by ``net_name``."""
+        owner = self.occupancy.get(node)
+        return owner is None or owner == net_name
+
+    def via_allowed(self, lower_node: tuple, net_name: str) -> bool:
+        """Return True if a via can be dropped at ``lower_node``.
+
+        Checks the bloated cut exclusion zone, which keeps foreign
+        cuts at least two track nodes apart (cut spacing safe).
+        """
+        l, i, j = lower_node
+        owner = self.via_occupancy.get((l, i, j))
+        return owner is None or owner == net_name
+
+    def occupy_path(self, path: list, net_name: str) -> None:
+        """Claim all nodes of ``path`` (and via exclusions) for a net."""
+        for node in path:
+            self.occupancy[node] = net_name
+        for a, b in zip(path, path[1:]):
+            if a[0] != b[0]:
+                lower = a if a[0] < b[0] else b
+                self._occupy_via(lower, net_name)
+
+    def occupy_via_at(self, lower_node: tuple, net_name: str) -> None:
+        """Claim a via exclusion zone at ``lower_node``."""
+        self._occupy_via(lower_node, net_name)
+
+    def _occupy_via(self, lower, net_name):
+        l, i, j = lower
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                key = (l, i + di, j + dj)
+                self.via_occupancy.setdefault(key, net_name)
+
+
+def _nearest(coords: list, value: int) -> int:
+    """Return the index of the coordinate nearest ``value``."""
+    pos = bisect.bisect_left(coords, value)
+    if pos == 0:
+        return 0
+    if pos == len(coords):
+        return len(coords) - 1
+    before = coords[pos - 1]
+    after = coords[pos]
+    return pos if after - value < value - before else pos - 1

@@ -1,0 +1,41 @@
+"""Technology model: layers, design rules, vias and node presets.
+
+This is the LEF-side substrate of the reproduction.  A
+:class:`Technology` holds the layer stack (alternating routing and cut
+layers), the per-layer design rules that the DRC engine interprets
+(spacing tables, end-of-line, min-step, min-area, cut spacing) and the
+via definitions used for up-via access.
+
+Three node presets mirror the nodes of the paper's benchmarks:
+45 nm and 32 nm (ISPD-2018 suite, Table I) and a 14 nm-class node
+(Experiment 3's preliminary study, Figure 9).
+"""
+
+from repro.tech.layer import Layer, LayerKind, RoutingDirection
+from repro.tech.rules import (
+    EolRule,
+    MinAreaRule,
+    MinStepRule,
+    CutSpacingRule,
+    SpacingTable,
+)
+from repro.tech.via import ViaDef
+from repro.tech.technology import Technology
+from repro.tech.nodes import make_node, make_n45, make_n32, make_n14
+
+__all__ = [
+    "Layer",
+    "LayerKind",
+    "RoutingDirection",
+    "SpacingTable",
+    "EolRule",
+    "MinStepRule",
+    "MinAreaRule",
+    "CutSpacingRule",
+    "ViaDef",
+    "Technology",
+    "make_node",
+    "make_n45",
+    "make_n32",
+    "make_n14",
+]

@@ -1,0 +1,107 @@
+"""Layer records for the technology stack."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.tech.rules import (
+    CutSpacingRule,
+    EolRule,
+    MinAreaRule,
+    MinStepRule,
+    SpacingTable,
+)
+
+
+class LayerKind(enum.Enum):
+    """LEF layer TYPE (the subset detailed routing cares about)."""
+
+    ROUTING = "ROUTING"
+    CUT = "CUT"
+
+
+class RoutingDirection(enum.Enum):
+    """Preferred routing direction of a routing layer."""
+
+    HORIZONTAL = "HORIZONTAL"
+    VERTICAL = "VERTICAL"
+
+    @property
+    def other(self) -> "RoutingDirection":
+        """Return the perpendicular direction."""
+        if self is RoutingDirection.HORIZONTAL:
+            return RoutingDirection.VERTICAL
+        return RoutingDirection.HORIZONTAL
+
+
+@dataclass
+class Layer:
+    """One layer of the stack.
+
+    Routing layers carry ``direction``, ``pitch``, ``width`` (default
+    wire width) and the metal rules; cut layers carry the cut spacing
+    rule.  ``index`` is the position in the technology's layer list and
+    orders the stack bottom-up.
+    """
+
+    name: str
+    kind: LayerKind
+    index: int = -1
+    # Routing-layer attributes.
+    direction: RoutingDirection = RoutingDirection.HORIZONTAL
+    pitch: int = 0
+    width: int = 0
+    offset: int = 0
+    spacing_table: SpacingTable = None
+    eol: EolRule = None
+    min_step: MinStepRule = None
+    min_area: MinAreaRule = None
+    # Cut-layer attributes.
+    cut_spacing: CutSpacingRule = None
+
+    @property
+    def is_routing(self) -> bool:
+        """Return True for routing (metal) layers."""
+        return self.kind is LayerKind.ROUTING
+
+    @property
+    def is_cut(self) -> bool:
+        """Return True for cut (via) layers."""
+        return self.kind is LayerKind.CUT
+
+    @property
+    def is_horizontal(self) -> bool:
+        """Return True if the preferred direction is horizontal."""
+        return self.direction is RoutingDirection.HORIZONTAL
+
+    @property
+    def is_vertical(self) -> bool:
+        """Return True if the preferred direction is vertical."""
+        return self.direction is RoutingDirection.VERTICAL
+
+    @property
+    def min_spacing(self) -> int:
+        """Return the default (width-0, PRL-0) spacing."""
+        if self.spacing_table is None:
+            return 0
+        return self.spacing_table.lookup(0, 0)
+
+    @property
+    def max_rule_distance(self) -> int:
+        """Return the largest interaction distance any rule implies.
+
+        Used by the DRC engine to size region-query windows so that
+        every shape that could interact with a target is found.
+        """
+        candidates = [0]
+        if self.spacing_table is not None:
+            candidates.append(self.spacing_table.max_spacing)
+        if self.eol is not None:
+            candidates.append(self.eol.eol_space + self.eol.eol_within)
+        if self.cut_spacing is not None:
+            candidates.append(self.cut_spacing.spacing)
+        return max(candidates)
+
+    def __str__(self) -> str:
+        return f"Layer({self.name}, {self.kind.value})"

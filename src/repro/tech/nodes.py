@@ -1,0 +1,253 @@
+"""Technology node presets.
+
+The ISPD-2018 suite spans a 45 nm and a 32 nm node (paper Table I);
+Experiment 3's preliminary study uses a commercial 14 nm library
+(Figure 9).  These presets are synthetic but dimensionally faithful:
+1 DBU = 1 nm, metal-1 pitch / width / via enclosures / min-step values
+sit in the published ballpark for each node, and every layer carries
+the full rule set the DRC engine interprets.
+
+Each node has nine routing layers (M1..M9) with alternating preferred
+directions and eight cut layers (V12..V89), matching the 9-layer
+benchmarks of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.layer import Layer, LayerKind, RoutingDirection
+from repro.tech.rules import (
+    CutSpacingRule,
+    EolRule,
+    MinAreaRule,
+    MinStepRule,
+    SpacingTable,
+)
+from repro.tech.technology import Technology
+from repro.tech.via import ViaDef
+
+
+@dataclass(frozen=True)
+class _NodeSpec:
+    """Dimensional parameters of one technology node."""
+
+    name: str
+    m1_width: int
+    m1_pitch: int
+    upper_width: int      # widths for M7..M9
+    upper_pitch: int
+    cut_size: int
+    cut_spacing: int
+    overhang: int         # long-side via enclosure overhang
+    min_step: int
+    eol_space: int
+    eol_width: int
+    eol_within: int
+    min_area_factor: int  # min area = factor * width * width
+    site_tracks: int      # row height in M1 pitches
+
+
+_N45 = _NodeSpec(
+    name="N45",
+    m1_width=70,
+    m1_pitch=140,
+    upper_width=140,
+    upper_pitch=280,
+    cut_size=70,
+    cut_spacing=80,
+    overhang=35,
+    min_step=35,
+    eol_space=90,
+    eol_width=90,
+    eol_within=25,
+    min_area_factor=4,
+    site_tracks=10,
+)
+
+_N32 = _NodeSpec(
+    name="N32",
+    m1_width=50,
+    m1_pitch=100,
+    upper_width=100,
+    upper_pitch=200,
+    cut_size=50,
+    cut_spacing=60,
+    overhang=25,
+    min_step=25,
+    eol_space=70,
+    eol_width=70,
+    eol_within=20,
+    min_area_factor=4,
+    site_tracks=12,
+)
+
+_N14 = _NodeSpec(
+    name="N14",
+    m1_width=32,
+    m1_pitch=64,
+    upper_width=64,
+    upper_pitch=128,
+    cut_size=32,
+    cut_spacing=42,
+    overhang=16,
+    min_step=16,
+    eol_space=50,
+    eol_width=40,
+    eol_within=10,
+    min_area_factor=5,
+    site_tracks=10,
+)
+
+_SPECS = {"N45": _N45, "N32": _N32, "N14": _N14}
+
+NUM_ROUTING_LAYERS = 9
+
+
+def make_node(name: str) -> Technology:
+    """Build the preset technology for node ``name`` (N45, N32 or N14)."""
+    try:
+        spec = _SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown node {name!r}; choose from {sorted(_SPECS)}"
+        ) from None
+    return _build(spec)
+
+
+def make_n45() -> Technology:
+    """Return the 45 nm preset (ispd18 test1-test3 class)."""
+    return make_node("N45")
+
+
+def make_n32() -> Technology:
+    """Return the 32 nm preset (ispd18 test4-test10 class)."""
+    return make_node("N32")
+
+
+def make_n14() -> Technology:
+    """Return the 14 nm-class preset (Experiment 3 preliminary study)."""
+    return make_node("N14")
+
+
+def _build(spec: _NodeSpec) -> Technology:
+    tech = Technology(
+        name=spec.name,
+        dbu_per_micron=1000,
+        site_name=f"{spec.name.lower()}site",
+        site_width=spec.m1_pitch,
+        site_height=spec.site_tracks * spec.m1_pitch,
+        manufacturing_grid=1,
+    )
+    for i in range(1, NUM_ROUTING_LAYERS + 1):
+        lower = i <= 6
+        width = spec.m1_width if lower else spec.upper_width
+        pitch = spec.m1_pitch if lower else spec.upper_pitch
+        direction = (
+            RoutingDirection.HORIZONTAL
+            if i % 2 == 1
+            else RoutingDirection.VERTICAL
+        )
+        tech.add_layer(
+            Layer(
+                name=f"M{i}",
+                kind=LayerKind.ROUTING,
+                direction=direction,
+                pitch=pitch,
+                width=width,
+                offset=pitch // 2,
+                spacing_table=_metal_spacing_table(width),
+                eol=EolRule(
+                    eol_space=_scaled(spec.eol_space, lower),
+                    eol_width=_scaled(spec.eol_width, lower),
+                    eol_within=_scaled(spec.eol_within, lower),
+                ),
+                min_step=MinStepRule(min_step_length=spec.min_step),
+                min_area=MinAreaRule(
+                    min_area=spec.min_area_factor * width * width
+                ),
+            )
+        )
+        if i < NUM_ROUTING_LAYERS:
+            cut_size = spec.cut_size if lower else spec.cut_size * 2
+            tech.add_layer(
+                Layer(
+                    name=f"V{i}{i + 1}",
+                    kind=LayerKind.CUT,
+                    cut_spacing=CutSpacingRule(
+                        spacing=spec.cut_spacing if lower else spec.cut_spacing * 2
+                    ),
+                )
+            )
+    _add_vias(tech, spec)
+    return tech
+
+
+def _scaled(value: int, lower: bool) -> int:
+    """Upper layers use doubled rule values (wider metal)."""
+    return value if lower else value * 2
+
+
+def _metal_spacing_table(width: int) -> SpacingTable:
+    """Return a 3x3 PRL spacing table scaled to the layer width.
+
+    Mirrors the ISPD-2018 LEF style: default spacing equals the wire
+    width; wide shapes with long parallel runs need up to ~2.3x more.
+    """
+    s = width
+    return SpacingTable(
+        prl_values=[0, 4 * s, 8 * s],
+        width_rows=[
+            (0, [s, s, s]),
+            (2 * s, [s, int(1.5 * s), int(1.5 * s)]),
+            (4 * s, [s, int(1.5 * s), int(2.3 * s)]),
+        ],
+    )
+
+
+def _add_vias(tech: Technology, spec: _NodeSpec) -> None:
+    """Register two via variants per cut layer; the first is primary.
+
+    The primary via elongates its bottom enclosure along the bottom
+    layer's preferred direction and its top enclosure along the top
+    layer's; the alternate via squares the bottom enclosure, which some
+    narrow pins need.
+    """
+    for i in range(1, NUM_ROUTING_LAYERS):
+        lower = i < 6
+        cut = spec.cut_size if lower else spec.cut_size * 2
+        over = spec.overhang if lower else spec.overhang * 2
+        bottom = tech.layer(f"M{i}")
+        top = tech.layer(f"M{i + 1}")
+        b_ox, b_oy = (over, 0) if bottom.is_horizontal else (0, over)
+        t_ox, t_oy = (over, 0) if top.is_horizontal else (0, over)
+        tech.add_via(
+            ViaDef.symmetric(
+                name=f"V{i}{i + 1}_P",
+                bottom_layer=bottom.name,
+                cut_layer=f"V{i}{i + 1}",
+                top_layer=top.name,
+                cut_size=cut,
+                bottom_overhang_x=b_ox,
+                bottom_overhang_y=b_oy,
+                top_overhang_x=t_ox,
+                top_overhang_y=t_oy,
+            )
+        )
+        # Alternate via: square bottom enclosure (half overhang on both
+        # sides); useful when the pin is too short for the long
+        # enclosure.  Registered second, so never primary.
+        half = over // 2
+        tech.add_via(
+            ViaDef.symmetric(
+                name=f"V{i}{i + 1}_S",
+                bottom_layer=bottom.name,
+                cut_layer=f"V{i}{i + 1}",
+                top_layer=top.name,
+                cut_size=cut,
+                bottom_overhang_x=half,
+                bottom_overhang_y=half,
+                top_overhang_x=t_ox,
+                top_overhang_y=t_oy,
+            )
+        )

@@ -1,0 +1,111 @@
+"""Design rule records interpreted by the DRC engine.
+
+The rule set follows the LEF 5.8 syntax subset that the ISPD-2018
+benchmarks use (and that TritonRoute's checker interprets): spacing
+tables keyed by width and parallel run length, end-of-line spacing,
+min-step, min-area and cut spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpacingTable:
+    """LEF ``SPACINGTABLE PARALLELRUNLENGTH`` for a routing layer.
+
+    ``prl_values`` is the ascending list of parallel-run-length
+    breakpoints; ``width_rows`` is a list of ``(width, spacings)``
+    where ``spacings[i]`` applies when the wide-shape width is at least
+    ``width`` and the PRL is at least ``prl_values[i]``.  The first row
+    (width 0) is the default spacing.
+    """
+
+    prl_values: list
+    width_rows: list  # list of (min_width, [spacing per prl column])
+
+    def __post_init__(self) -> None:
+        if not self.prl_values or not self.width_rows:
+            raise ValueError("spacing table must have at least one row/column")
+        for width, spacings in self.width_rows:
+            if len(spacings) != len(self.prl_values):
+                raise ValueError(
+                    f"row for width {width} has {len(spacings)} entries, "
+                    f"expected {len(self.prl_values)}"
+                )
+
+    def lookup(self, width: int, prl: int) -> int:
+        """Return the required spacing for a shape pair.
+
+        ``width`` is the larger of the two shapes' widths; ``prl`` is
+        their parallel run length.  LEF semantics: pick the greatest
+        table row whose width bound does not exceed ``width``, then the
+        greatest column whose PRL bound does not exceed ``prl``.
+        """
+        row = self.width_rows[0][1]
+        for min_width, spacings in self.width_rows:
+            if width >= min_width:
+                row = spacings
+        value = row[0]
+        for bound, spacing in zip(self.prl_values, row):
+            if prl >= bound:
+                value = spacing
+        return value
+
+    @property
+    def max_spacing(self) -> int:
+        """Return the largest spacing anywhere in the table.
+
+        The DRC engine bloats query windows by this amount so no
+        potentially-violating neighbor is missed.
+        """
+        return max(max(spacings) for _, spacings in self.width_rows)
+
+    @staticmethod
+    def simple(spacing: int) -> "SpacingTable":
+        """Return a one-entry table encoding a constant min spacing."""
+        return SpacingTable(prl_values=[0], width_rows=[(0, [spacing])])
+
+
+@dataclass(frozen=True)
+class EolRule:
+    """LEF ``SPACING eolSpace ENDOFLINE eolWidth WITHIN eolWithin``.
+
+    An edge shorter than ``eol_width`` is an end-of-line edge; any
+    metal within ``eol_space`` ahead of it (and ``eol_within`` to the
+    sides) violates.
+    """
+
+    eol_space: int
+    eol_width: int
+    eol_within: int
+
+
+@dataclass(frozen=True)
+class MinStepRule:
+    """LEF ``MINSTEP`` -- no boundary edge shorter than ``min_step_length``.
+
+    ``max_edges`` is the number of consecutive short edges tolerated
+    (LEF MAXEDGES): a maximal run of more than ``max_edges`` boundary
+    edges shorter than ``min_step_length`` is a violation.  The default
+    of 0 is the classic reading -- any short edge violates -- and is
+    what makes paper Figure 3(a)/(b) dirty while (c)/(d) are clean.
+    """
+
+    min_step_length: int
+    max_edges: int = 0
+
+
+@dataclass(frozen=True)
+class MinAreaRule:
+    """LEF ``AREA`` -- minimum metal polygon area."""
+
+    min_area: int
+
+
+@dataclass(frozen=True)
+class CutSpacingRule:
+    """LEF cut-layer ``SPACING`` -- minimum cut-to-cut spacing."""
+
+    spacing: int

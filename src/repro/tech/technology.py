@@ -1,0 +1,137 @@
+"""The technology container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.layer import Layer, LayerKind
+from repro.tech.via import ViaDef
+
+
+@dataclass
+class Technology:
+    """A full technology: name, DBU scale, layer stack and via defs.
+
+    Layers must be appended bottom-up (routing and cut layers
+    alternating).  Via definitions are registered per cut layer; the
+    first via registered for a cut layer is its *primary* via (the one
+    the paper prefers when multiple vias are valid at an access point).
+    """
+
+    name: str
+    dbu_per_micron: int = 1000
+    layers: list = field(default_factory=list)
+    vias: list = field(default_factory=list)
+    site_name: str = "unit"
+    site_width: int = 0
+    site_height: int = 0
+    manufacturing_grid: int = 5
+
+    def __post_init__(self) -> None:
+        self._layers_by_name = {}
+        self._vias_by_name = {}
+        self._vias_by_bottom = {}
+        for layer in self.layers:
+            self._register_layer(layer)
+        for via in self.vias:
+            self._register_via(via)
+
+    # -- construction ------------------------------------------------------
+
+    def add_layer(self, layer: Layer) -> Layer:
+        """Append a layer to the top of the stack."""
+        self.layers.append(layer)
+        self._register_layer(layer)
+        return layer
+
+    def add_via(self, via: ViaDef) -> ViaDef:
+        """Register a via definition."""
+        self.vias.append(via)
+        self._register_via(via)
+        return via
+
+    def _register_layer(self, layer: Layer) -> None:
+        if layer.name in self._layers_by_name:
+            raise ValueError(f"duplicate layer {layer.name}")
+        layer.index = len(self._layers_by_name)
+        self._layers_by_name[layer.name] = layer
+
+    def _register_via(self, via: ViaDef) -> None:
+        if via.name in self._vias_by_name:
+            raise ValueError(f"duplicate via {via.name}")
+        for lname in (via.bottom_layer, via.cut_layer, via.top_layer):
+            if lname not in self._layers_by_name:
+                raise ValueError(f"via {via.name} references unknown layer {lname}")
+        self._vias_by_name[via.name] = via
+        self._vias_by_bottom.setdefault(via.bottom_layer, []).append(via)
+
+    # -- lookups -----------------------------------------------------------
+
+    def layer(self, name: str) -> Layer:
+        """Return the layer named ``name``."""
+        try:
+            return self._layers_by_name[name]
+        except KeyError:
+            raise KeyError(f"no layer named {name!r}") from None
+
+    def has_layer(self, name: str) -> bool:
+        """Return True if a layer of that name exists."""
+        return name in self._layers_by_name
+
+    def via(self, name: str) -> ViaDef:
+        """Return the via definition named ``name``."""
+        try:
+            return self._vias_by_name[name]
+        except KeyError:
+            raise KeyError(f"no via named {name!r}") from None
+
+    def routing_layers(self) -> list:
+        """Return routing layers bottom-up."""
+        return [l for l in self.layers if l.is_routing]
+
+    def cut_layers(self) -> list:
+        """Return cut layers bottom-up."""
+        return [l for l in self.layers if l.is_cut]
+
+    def layer_above(self, layer: Layer) -> Layer:
+        """Return the next layer up the stack, or None at the top."""
+        idx = layer.index + 1
+        if idx >= len(self.layers):
+            return None
+        return self.layers[idx]
+
+    def layer_below(self, layer: Layer) -> Layer:
+        """Return the next layer down the stack, or None at the bottom."""
+        idx = layer.index - 1
+        if idx < 0:
+            return None
+        return self.layers[idx]
+
+    def routing_layer_above(self, layer: Layer) -> Layer:
+        """Return the routing layer immediately above ``layer``."""
+        cur = self.layer_above(layer)
+        while cur is not None and not cur.is_routing:
+            cur = self.layer_above(cur)
+        return cur
+
+    def vias_from(self, bottom_layer_name: str) -> list:
+        """Return via defs whose bottom layer is ``bottom_layer_name``.
+
+        The first element is the primary via.
+        """
+        return list(self._vias_by_bottom.get(bottom_layer_name, ()))
+
+    def primary_via_from(self, bottom_layer_name: str) -> ViaDef:
+        """Return the primary up-via from the given routing layer."""
+        vias = self.vias_from(bottom_layer_name)
+        if not vias:
+            raise KeyError(f"no via definition from layer {bottom_layer_name!r}")
+        return vias[0]
+
+    def microns(self, dbu: int) -> float:
+        """Convert DBU to microns."""
+        return dbu / self.dbu_per_micron
+
+    def dbu(self, microns: float) -> int:
+        """Convert microns to DBU (rounded)."""
+        return round(microns * self.dbu_per_micron)

@@ -1,0 +1,92 @@
+"""Via definitions.
+
+A via definition (LEF ``VIA`` / DEF ``VIAS`` entry) is three stacked
+shapes: the bottom-layer enclosure, the cut, and the top-layer
+enclosure, all expressed relative to the via origin (the point the
+router drops the via at).  Pin access validity (paper Algorithm 1,
+``isValid``) is decided by DRC-checking these shapes at the candidate
+access point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.rect import Rect
+
+
+@dataclass(frozen=True)
+class ViaDef:
+    """A single-cut via definition.
+
+    ``bottom_enc`` / ``cut`` / ``top_enc`` are rects relative to the
+    via origin (0, 0).  ``bottom_layer`` / ``cut_layer`` / ``top_layer``
+    are layer names resolved against the technology.
+    """
+
+    name: str
+    bottom_layer: str
+    cut_layer: str
+    top_layer: str
+    bottom_enc: Rect
+    cut: Rect
+    top_enc: Rect
+
+    def __post_init__(self) -> None:
+        if not self.bottom_enc.contains_rect(self.cut):
+            raise ValueError(
+                f"via {self.name}: bottom enclosure must contain the cut"
+            )
+        if not self.top_enc.contains_rect(self.cut):
+            raise ValueError(
+                f"via {self.name}: top enclosure must contain the cut"
+            )
+
+    def bottom_at(self, x: int, y: int) -> Rect:
+        """Return the bottom enclosure placed at ``(x, y)``."""
+        return self.bottom_enc.translated(x, y)
+
+    def cut_at(self, x: int, y: int) -> Rect:
+        """Return the cut placed at ``(x, y)``."""
+        return self.cut.translated(x, y)
+
+    def top_at(self, x: int, y: int) -> Rect:
+        """Return the top enclosure placed at ``(x, y)``."""
+        return self.top_enc.translated(x, y)
+
+    @staticmethod
+    def symmetric(
+        name: str,
+        bottom_layer: str,
+        cut_layer: str,
+        top_layer: str,
+        cut_size: int,
+        bottom_overhang_x: int,
+        bottom_overhang_y: int,
+        top_overhang_x: int,
+        top_overhang_y: int,
+    ) -> "ViaDef":
+        """Build a via with a centered square cut and symmetric overhangs."""
+        half = cut_size // 2
+        cut = Rect(-half, -half, cut_size - half, cut_size - half)
+        bottom = Rect(
+            cut.xlo - bottom_overhang_x,
+            cut.ylo - bottom_overhang_y,
+            cut.xhi + bottom_overhang_x,
+            cut.yhi + bottom_overhang_y,
+        )
+        top = Rect(
+            cut.xlo - top_overhang_x,
+            cut.ylo - top_overhang_y,
+            cut.xhi + top_overhang_x,
+            cut.yhi + top_overhang_y,
+        )
+        return ViaDef(
+            name=name,
+            bottom_layer=bottom_layer,
+            cut_layer=cut_layer,
+            top_layer=top_layer,
+            bottom_enc=bottom,
+            cut=cut,
+            top_enc=top,
+        )

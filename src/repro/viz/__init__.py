@@ -1,0 +1,12 @@
+"""Layout visualization (dependency-free SVG).
+
+The paper's Figures 8 and 9 are layout screenshots: pin shapes, via
+enclosures at the selected access points, routed metal and dashed red
+DRC markers.  :class:`LayoutPainter` renders the same view of any
+design region from this library's data structures, so a reproduction
+run can emit figure-like artifacts next to its tables.
+"""
+
+from repro.viz.svg import LayoutPainter, render_pin_access, render_routing
+
+__all__ = ["LayoutPainter", "render_pin_access", "render_routing"]

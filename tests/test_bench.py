@@ -1,0 +1,186 @@
+"""Unit tests for the benchmark suite generators."""
+
+import pytest
+
+from repro.bench.ispd18 import (
+    DEFAULT_SCALE,
+    ISPD18_TESTCASES,
+    build_testcase,
+)
+from repro.bench.ispd18 import testcase_spec as spec_by_name
+from repro.bench.aes14 import build_aes14
+from repro.bench.stdcells import build_library
+from repro.drc.context import ShapeContext
+from repro.drc.engine import DrcEngine
+
+
+class TestSpecs:
+    def test_ten_testcases(self):
+        assert len(ISPD18_TESTCASES) == 10
+        assert [s.name for s in ISPD18_TESTCASES] == [
+            f"ispd18_test{i}" for i in range(1, 11)
+        ]
+
+    def test_table1_full_scale_counts(self):
+        spec = spec_by_name("ispd18_test10")
+        assert spec.std_cells == 290386
+        assert spec.node == "N32"
+
+    def test_nodes_match_table1(self):
+        for spec in ISPD18_TESTCASES[:3]:
+            assert spec.node == "N45"
+        for spec in ISPD18_TESTCASES[3:]:
+            assert spec.node == "N32"
+
+    def test_misalignment_flags(self):
+        for name in ("ispd18_test4", "ispd18_test5", "ispd18_test6"):
+            assert spec_by_name(name).misaligned_tracks
+        assert not spec_by_name("ispd18_test1").misaligned_tracks
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            spec_by_name("ispd18_test99")
+
+
+class TestLibrary:
+    def test_deterministic(self, n45):
+        lib1 = build_library(n45, seed=7)
+        lib2 = build_library(n45, seed=7)
+        for m1, m2 in zip(lib1.masters, lib2.masters):
+            assert m1.name == m2.name
+            for p1, p2 in zip(m1.pins, m2.pins):
+                assert p1.shapes == p2.shapes
+
+    def test_seed_changes_layouts(self, n45):
+        lib1 = build_library(n45, seed=1)
+        lib2 = build_library(n45, seed=2)
+        diffs = sum(
+            1
+            for m1, m2 in zip(lib1.masters, lib2.masters)
+            for p1, p2 in zip(m1.pins, m2.pins)
+            if p1.shapes != p2.shapes
+        )
+        assert diffs > 0
+
+    def test_cells_are_site_multiples(self, n45):
+        lib = build_library(n45)
+        for master in lib.masters:
+            assert master.width % n45.site_width == 0
+            assert master.height == n45.site_height
+
+    def test_pins_inside_cell(self, n45):
+        lib = build_library(n45)
+        for master in lib.masters:
+            for pin in master.signal_pins():
+                box = pin.bbox()
+                assert 0 <= box.xlo and box.xhi <= master.width
+                assert 0 <= box.ylo and box.yhi <= master.height
+
+    def test_pin_shapes_mutually_drc_clean(self, n45):
+        # A well-formed library: no shape-vs-shape violations inside a
+        # cell (vias may still conflict; that is the point of the DP).
+        from repro.db.inst import Instance
+        from repro.geom.point import Point
+
+        engine = DrcEngine(n45)
+        lib = build_library(n45)
+        for master in lib.masters[:12]:
+            inst = Instance("u", master, Point(0, 0))
+            ctx = ShapeContext.from_instance(inst)
+            for pin, layer, rect in inst.all_pin_shapes():
+                violations = [
+                    v
+                    for v in engine.check_metal_rect(
+                        layer, rect, ("u", pin.name), ctx
+                    )
+                ]
+                assert violations == [], (master.name, pin.name, violations)
+
+    def test_macro_has_obs_and_pins(self, n45):
+        lib = build_library(n45, num_macros=2)
+        assert len(lib.macros) == 2
+        macro = lib.macros[0]
+        assert macro.is_macro
+        assert macro.obstructions
+        assert macro.signal_pins()
+
+    def test_num_masters_trim(self, n45):
+        lib = build_library(n45, num_masters=10)
+        assert len(lib.masters) == 10
+
+
+class TestBuildTestcase:
+    def test_scaled_counts(self):
+        design = build_testcase("ispd18_test2", scale=0.005)
+        stats = design.stats()
+        assert stats["num_std_cells"] == round(35913 * 0.005)
+        assert stats["num_io_pins"] == round(1211 * 0.005)
+        assert stats["node"] == "N45"
+
+    def test_deterministic(self):
+        d1 = build_testcase("ispd18_test1", scale=0.005)
+        d2 = build_testcase("ispd18_test1", scale=0.005)
+        assert [
+            (i.name, i.location, i.orient) for i in d1.instances.values()
+        ] == [(i.name, i.location, i.orient) for i in d2.instances.values()]
+
+    def test_instances_on_site_grid_inside_die(self):
+        design = build_testcase("ispd18_test1", scale=0.01)
+        site_w = design.tech.site_width
+        for inst in design.instances.values():
+            assert (inst.location.x - design.core_origin.x) % site_w == 0
+            assert design.die_area.contains_rect(inst.bbox)
+
+    def test_no_overlapping_instances(self):
+        design = build_testcase("ispd18_test4", scale=0.005)
+        by_row = {}
+        for inst in design.instances.values():
+            by_row.setdefault(inst.location.y, []).append(inst)
+        for insts in by_row.values():
+            insts.sort(key=lambda i: i.location.x)
+            for a, b in zip(insts, insts[1:]):
+                assert a.bbox.xhi <= b.bbox.xlo, (a.name, b.name)
+
+    def test_macros_placed_for_test3(self):
+        design = build_testcase("ispd18_test3", scale=0.01)
+        assert design.stats()["num_macros"] == 4
+
+    def test_every_net_has_terms(self):
+        design = build_testcase("ispd18_test1", scale=0.005)
+        for net in design.nets.values():
+            assert net.degree >= 1
+
+    def test_most_signal_pins_connected(self):
+        design = build_testcase("ispd18_test1", scale=0.01)
+        total_signal = sum(
+            len(i.master.signal_pins()) for i in design.instances.values()
+        )
+        assert len(design.connected_pins()) >= 0.9 * total_signal
+
+    def test_tracks_cover_all_routing_layers(self):
+        design = build_testcase("ispd18_test1", scale=0.005)
+        layers_with_tracks = {p.layer_name for p in design.track_patterns}
+        assert layers_with_tracks == {
+            l.name for l in design.tech.routing_layers()
+        }
+
+    def test_misaligned_steps(self):
+        design = build_testcase("ispd18_test4", scale=0.005)
+        m2 = design.track_patterns_on("M2")[0]
+        assert m2.step == 120  # 1.2 x 100
+        aligned = build_testcase("ispd18_test9", scale=0.005)
+        assert aligned.track_patterns_on("M2")[0].step == 100
+
+    def test_spec_by_object(self):
+        spec = spec_by_name("ispd18_test1")
+        design = build_testcase(spec, scale=0.005)
+        assert design.name == "ispd18_test1"
+
+
+class TestAes14:
+    def test_build(self):
+        design = build_aes14(scale=0.02)
+        stats = design.stats()
+        assert stats["node"] == "N14"
+        assert stats["num_std_cells"] == 400
+        assert design.track_patterns_on("M2")[0].step == 76  # misaligned

@@ -1,0 +1,133 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def lefdef_pair(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    lef = tmp / "t.lef"
+    deff = tmp / "t.def"
+    code = main(
+        [
+            "generate",
+            "ispd18_test1",
+            "--scale",
+            "0.005",
+            "--lef",
+            str(lef),
+            "--def",
+            str(deff),
+        ]
+    )
+    assert code == 0
+    return lef, deff
+
+
+class TestGenerate:
+    def test_writes_files(self, lefdef_pair, capsys):
+        lef, deff = lefdef_pair
+        assert lef.exists() and deff.exists()
+        assert "MACRO" in lef.read_text()
+        assert "COMPONENTS" in deff.read_text()
+
+    def test_unknown_testcase(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(
+                [
+                    "generate",
+                    "nope",
+                    "--lef",
+                    str(tmp_path / "a.lef"),
+                    "--def",
+                    str(tmp_path / "a.def"),
+                ]
+            )
+
+
+class TestAnalyze:
+    def test_paaf_clean_exit(self, lefdef_pair, capsys):
+        lef, deff = lefdef_pair
+        code = main(["analyze", "--lef", str(lef), "--def", str(deff)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failed pins" in out
+        assert "PAAF w/ BCA" in out
+
+    def test_baseline_fails(self, lefdef_pair, capsys):
+        lef, deff = lefdef_pair
+        code = main(
+            [
+                "analyze",
+                "--lef",
+                str(lef),
+                "--def",
+                str(deff),
+                "--baseline",
+                "--list-failed",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+
+    def test_no_bca_flag(self, lefdef_pair, capsys):
+        lef, deff = lefdef_pair
+        main(
+            ["analyze", "--lef", str(lef), "--def", str(deff), "--no-bca"]
+        )
+        assert "w/o BCA" in capsys.readouterr().out
+
+
+class TestRoute:
+    def test_route_with_svg(self, lefdef_pair, tmp_path, capsys):
+        lef, deff = lefdef_pair
+        svg = tmp_path / "routed.svg"
+        code = main(
+            [
+                "route",
+                "--lef",
+                str(lef),
+                "--def",
+                str(deff),
+                "--svg",
+                str(svg),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "routed" in out
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+
+class TestRender:
+    def test_render(self, lefdef_pair, tmp_path, capsys):
+        lef, deff = lefdef_pair
+        svg = tmp_path / "access.svg"
+        code = main(
+            ["render", "--lef", str(lef), "--def", str(deff), "--svg", str(svg)]
+        )
+        assert code == 0
+        assert "<line" in svg.read_text()
+
+
+class TestSuite:
+    def test_suite_subset(self, capsys):
+        code = main(
+            ["suite", "--scale", "0.002", "--testcases", "ispd18_test1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "ispd18_test1" in out
+
+
+class TestTopLevel:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Unit tests for coordinate-type enumeration (paper Sec. II-C)."""
+
+import pytest
+
+from repro.core.coords import (
+    CoordType,
+    NON_PREFERRED_TYPES,
+    PREFERRED_TYPES,
+    candidate_coords,
+    track_patterns_for_axis,
+)
+from repro.db.design import Design
+from repro.db.tracks import TrackPattern
+from repro.geom.rect import Rect
+from repro.tech.layer import RoutingDirection
+
+
+@pytest.fixture
+def design(n45):
+    d = Design("coords", n45)
+    d.die_area = Rect(0, 0, 14000, 14000)
+    for layer in n45.routing_layers():
+        d.add_track_pattern(
+            TrackPattern(
+                layer_name=layer.name,
+                direction=layer.direction,
+                start=70,
+                step=layer.pitch,
+                count=90,
+            )
+        )
+    return d
+
+
+class TestTypeLadder:
+    def test_costs_are_enum_values(self):
+        assert int(CoordType.ON_TRACK) == 0
+        assert int(CoordType.ENCLOSURE_BOUNDARY) == 3
+
+    def test_preferred_includes_all_four(self):
+        assert PREFERRED_TYPES == (
+            CoordType.ON_TRACK,
+            CoordType.HALF_TRACK,
+            CoordType.SHAPE_CENTER,
+            CoordType.ENCLOSURE_BOUNDARY,
+        )
+
+    def test_non_preferred_excludes_boundary(self):
+        assert CoordType.ENCLOSURE_BOUNDARY not in NON_PREFERRED_TYPES
+
+
+class TestTrackSourceSelection:
+    def test_preferred_axis_uses_own_layer(self, design, n45):
+        m1 = n45.layer("M1")  # horizontal: preferred axis is y
+        patterns = track_patterns_for_axis(design, n45, m1, "y")
+        assert patterns and all(p.layer_name == "M1" for p in patterns)
+
+    def test_non_preferred_axis_uses_layer_above(self, design, n45):
+        m1 = n45.layer("M1")
+        patterns = track_patterns_for_axis(design, n45, m1, "x")
+        assert patterns and all(p.layer_name == "M2" for p in patterns)
+
+    def test_top_layer_falls_back_below(self, design, n45):
+        m9 = n45.layer("M9")  # horizontal, top of stack
+        patterns = track_patterns_for_axis(design, n45, m9, "x")
+        assert patterns and all(p.layer_name == "M8" for p in patterns)
+
+    def test_bad_axis_rejected(self, design, n45):
+        with pytest.raises(ValueError):
+            track_patterns_for_axis(design, n45, n45.layer("M1"), "z")
+
+
+class TestCandidateCoords:
+    def test_on_track(self, design, n45):
+        m1 = n45.layer("M1")
+        rect = Rect(0, 100, 500, 400)
+        ys = candidate_coords("y", CoordType.ON_TRACK, rect, m1, design, n45)
+        assert ys == [210, 350]
+
+    def test_half_track(self, design, n45):
+        m1 = n45.layer("M1")
+        rect = Rect(0, 100, 500, 400)
+        ys = candidate_coords("y", CoordType.HALF_TRACK, rect, m1, design, n45)
+        assert ys == [140, 280]
+
+    def test_shape_center_skipped_when_two_tracks_touch(self, design, n45):
+        m1 = n45.layer("M1")
+        rect = Rect(0, 100, 500, 400)  # touches tracks 210 and 350
+        assert (
+            candidate_coords(
+                "y", CoordType.SHAPE_CENTER, rect, m1, design, n45
+            )
+            == []
+        )
+
+    def test_shape_center_generated_when_narrow(self, design, n45):
+        m1 = n45.layer("M1")
+        rect = Rect(0, 100, 500, 200)  # touches no track
+        got = candidate_coords(
+            "y", CoordType.SHAPE_CENTER, rect, m1, design, n45
+        )
+        assert got == [150]
+
+    def test_enclosure_boundary_both_alignments(self, design, n45):
+        m1 = n45.layer("M1")
+        via = n45.primary_via_from("M1")  # enclosure yspan [-35, 35]
+        rect = Rect(0, 100, 500, 200)
+        got = candidate_coords(
+            "y", CoordType.ENCLOSURE_BOUNDARY, rect, m1, design, n45, via
+        )
+        assert got == [135, 165]
+
+    def test_enclosure_boundary_requires_via(self, design, n45):
+        m1 = n45.layer("M1")
+        rect = Rect(0, 100, 500, 200)
+        assert (
+            candidate_coords(
+                "y", CoordType.ENCLOSURE_BOUNDARY, rect, m1, design, n45, None
+            )
+            == []
+        )
+
+    def test_enclosure_boundary_skipped_when_enclosure_larger(
+        self, design, n45
+    ):
+        m1 = n45.layer("M1")
+        via = n45.primary_via_from("M1")
+        rect = Rect(0, 100, 500, 150)  # 50 tall < enclosure 70
+        assert (
+            candidate_coords(
+                "y", CoordType.ENCLOSURE_BOUNDARY, rect, m1, design, n45, via
+            )
+            == []
+        )
+
+    def test_x_axis_on_vertical_layer_uses_own_tracks(self, design, n45):
+        m2 = n45.layer("M2")
+        rect = Rect(100, 0, 400, 500)
+        xs = candidate_coords("x", CoordType.ON_TRACK, rect, m2, design, n45)
+        assert xs == [210, 350]

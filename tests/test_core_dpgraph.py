@@ -1,0 +1,113 @@
+"""Unit tests for the layered DP graph (Algorithm 2 machinery)."""
+
+import pytest
+
+from repro.core.dpgraph import LayeredDpGraph
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            LayeredDpGraph([])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            LayeredDpGraph([["a"], [], ["b"]])
+
+
+class TestSolve:
+    def test_single_group_picks_cheapest(self):
+        graph = LayeredDpGraph([["a", "b", "c"]])
+        costs = {"a": 5, "b": 1, "c": 3}
+
+        def edge_cost(prev, curr, prev_prev):
+            return costs[curr]
+
+        path, total = graph.solve(edge_cost)
+        assert path == ["b"]
+        assert total == 1
+
+    def test_two_groups_minimize_sum(self):
+        graph = LayeredDpGraph([["a1", "a2"], ["b1", "b2"]])
+        edge = {
+            (None, "a1"): 1, (None, "a2"): 10,
+            ("a1", "b1"): 10, ("a1", "b2"): 1,
+            ("a2", "b1"): 1, ("a2", "b2"): 10,
+        }
+
+        def edge_cost(prev, curr, prev_prev):
+            return edge[(prev, curr)]
+
+        path, total = graph.solve(edge_cost)
+        assert path == ["a1", "b2"]
+        assert total == 2
+
+    def test_greedy_trap_avoided(self):
+        # The cheapest first vertex leads to an expensive total; DP must
+        # not take it.
+        graph = LayeredDpGraph([["cheap", "costly"], ["x"]])
+        edge = {
+            (None, "cheap"): 0, (None, "costly"): 2,
+            ("cheap", "x"): 100, ("costly", "x"): 1,
+        }
+        path, total = graph.solve(lambda p, c, pp: edge[(p, c)])
+        assert path == ["costly", "x"]
+        assert total == 3
+
+    def test_visits_one_vertex_per_group(self):
+        groups = [["a"], ["b1", "b2", "b3"], ["c"], ["d1", "d2"]]
+        graph = LayeredDpGraph(groups)
+        path, _ = graph.solve(lambda p, c, pp: 1)
+        assert len(path) == 4
+        for group, chosen in zip(groups, path):
+            assert chosen in group
+
+    def test_history_sees_back_pointer(self):
+        # prev_prev must be the chosen predecessor of prev, fixed
+        # before the current stage is relaxed.
+        seen = []
+
+        def edge_cost(prev, curr, prev_prev):
+            if prev is not None and prev_prev is not None:
+                seen.append((prev_prev, prev, curr))
+            return {"a1": 0, "a2": 5}.get(curr, 1)
+
+        graph = LayeredDpGraph([["a1", "a2"], ["b"], ["c"]])
+        path, _ = graph.solve(edge_cost)
+        assert path == ["a1", "b", "c"]
+        # When pricing b->c the recorded predecessor of b is a1.
+        assert ("a1", "b", "c") in seen
+        assert ("a2", "b", "c") not in seen
+
+    def test_history_cost_influences_choice(self):
+        # c2 conflicts with a1 two groups back; DP should route through
+        # b such that the history cost is avoided... the chain model
+        # prices it on the edge (b, c2) given prev_prev.
+        def edge_cost(prev, curr, prev_prev):
+            if prev is None:
+                return 0
+            if prev_prev == "a1" and curr == "c1":
+                return 100
+            return 1
+
+        graph = LayeredDpGraph([["a1"], ["b"], ["c1", "c2"]])
+        path, total = graph.solve(edge_cost)
+        assert path == ["a1", "b", "c2"]
+
+    def test_deterministic_tie_break(self):
+        graph = LayeredDpGraph([["a", "b"], ["x", "y"]])
+        path1, _ = graph.solve(lambda p, c, pp: 1)
+        graph2 = LayeredDpGraph([["a", "b"], ["x", "y"]])
+        path2, _ = graph2.solve(lambda p, c, pp: 1)
+        assert path1 == path2
+
+    def test_long_chain(self):
+        groups = [[f"v{i}a", f"v{i}b"] for i in range(50)]
+
+        def edge_cost(prev, curr, prev_prev):
+            return 0 if curr.endswith("a") else 1
+
+        graph = LayeredDpGraph(groups)
+        path, total = graph.solve(edge_cost)
+        assert total == 0
+        assert all(v.endswith("a") for v in path)

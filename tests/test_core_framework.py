@@ -1,0 +1,147 @@
+"""Unit and integration tests for the framework orchestrator."""
+
+import pytest
+
+from repro.core.config import PaafConfig
+from repro.core.framework import (
+    PinAccessFramework,
+    evaluate_failed_pins,
+)
+
+from tests.conftest import make_simple_design
+
+
+@pytest.fixture
+def design(n45):
+    return make_simple_design(n45, num_instances=3)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = PaafConfig()
+        assert config.k == 3
+        assert config.alpha == 0.3
+        assert config.patterns_per_unique_instance == 3
+        assert config.boundary_conflict_aware
+        assert config.history_aware
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PaafConfig(k=0)
+        with pytest.raises(ValueError):
+            PaafConfig(patterns_per_unique_instance=0)
+
+    def test_without_bca(self):
+        base = PaafConfig()
+        nobca = base.without_bca()
+        assert nobca.patterns_per_unique_instance == 1
+        assert not nobca.boundary_conflict_aware
+        assert base.patterns_per_unique_instance == 3  # original untouched
+
+
+class TestRun:
+    def test_full_run_populates_everything(self, design):
+        result = PinAccessFramework(design).run()
+        assert result.num_unique_instances == 2
+        assert result.total_access_points > 0
+        assert result.selection is not None
+        assert set(result.timings) == {"step1", "step2", "step3", "total"}
+        for ua in result.unique_accesses:
+            assert ua.patterns
+
+    def test_step1_only(self, design):
+        result = PinAccessFramework(design).run_step1()
+        assert result.total_access_points > 0
+        assert result.selection is None
+        assert all(not ua.patterns for ua in result.unique_accesses)
+
+    def test_no_dirty_aps(self, design):
+        result = PinAccessFramework(design).run()
+        assert result.count_dirty_aps() == 0
+
+    def test_access_map_covers_connected_pins(self, design):
+        result = PinAccessFramework(design).run()
+        amap = result.access_map()
+        for inst, pin in design.connected_pins():
+            assert (inst.name, pin.name) in amap
+
+    def test_no_failed_pins(self, design):
+        result = PinAccessFramework(design).run()
+        assert result.failed_pins() == []
+        assert evaluate_failed_pins(design, result.access_map()) == []
+
+    def test_access_map_positions_differ_across_members(self, design):
+        result = PinAccessFramework(design).run()
+        amap = result.access_map()
+        # u0 and u2 share a unique instance: their APs are pure
+        # translations of each other.
+        a0 = amap[("u0", "A")]
+        a2 = amap[("u2", "A")]
+        assert (a2.x - a0.x, a2.y - a0.y) == (1400, 0)
+
+    def test_deterministic_across_runs(self, design, n45):
+        r1 = PinAccessFramework(design).run()
+        design2 = make_simple_design(n45, num_instances=3)
+        r2 = PinAccessFramework(design2).run()
+        m1 = {
+            k: (ap.x, ap.y) for k, ap in r1.access_map().items()
+        }
+        m2 = {
+            k: (ap.x, ap.y) for k, ap in r2.access_map().items()
+        }
+        assert m1 == m2
+
+
+class TestEvaluator:
+    def test_missing_pin_fails(self, design):
+        result = PinAccessFramework(design).run()
+        amap = result.access_map()
+        removed = ("u0", "A")
+        del amap[removed]
+        failed = evaluate_failed_pins(design, amap)
+        assert failed == [removed]
+
+    def test_conflicting_pair_fails_both(self, design):
+        result = PinAccessFramework(design).run()
+        amap = result.access_map()
+        # Force u1's A onto a point adjacent to u0's A via.
+        ap0 = amap[("u0", "A")]
+        amap[("u1", "A")] = ap0.translated(140, 0)
+        failed = set(evaluate_failed_pins(design, amap))
+        assert ("u0", "A") in failed
+        assert ("u1", "A") in failed
+
+
+class TestBaseline:
+    def test_baseline_generates_dirty_aps_on_suite(self):
+        from repro.bench import build_testcase
+        from repro.core.baseline import LegacyPinAccess
+
+        design = build_testcase("ispd18_test1", scale=0.005)
+        baseline = LegacyPinAccess(design)
+        result = baseline.run()
+        assert result.total_access_points > 0
+        assert result.count_dirty_aps() > 0
+
+    def test_baseline_fails_more_pins_than_paaf(self):
+        from repro.bench import build_testcase
+        from repro.core.baseline import LegacyPinAccess
+
+        design = build_testcase("ispd18_test1", scale=0.005)
+        baseline = LegacyPinAccess(design)
+        base_failed = evaluate_failed_pins(
+            design, baseline.access_map(baseline.run())
+        )
+        paaf = PinAccessFramework(design).run()
+        paaf_failed = evaluate_failed_pins(design, paaf.access_map())
+        assert len(base_failed) > 10 * max(1, len(paaf_failed))
+
+    def test_baseline_k_truncates(self):
+        from repro.bench import build_testcase
+        from repro.core.baseline import LegacyPinAccess
+
+        design = build_testcase("ispd18_test1", scale=0.005)
+        result = LegacyPinAccess(design, k=1).run()
+        for ua in result.unique_accesses:
+            for aps in ua.aps_by_pin.values():
+                assert len(aps) <= 1

@@ -1,0 +1,69 @@
+"""Tests for the pin access oracle facade."""
+
+import pytest
+
+from repro.core.oracle import PinAccessOracle
+
+from tests.conftest import make_simple_design
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    import repro.tech as tech
+
+    design = make_simple_design(tech.make_n45(), num_instances=3)
+    return PinAccessOracle(design), design
+
+
+class TestQuery:
+    def test_selected_matches_access_map(self, oracle):
+        orc, design = oracle
+        answer = orc.query("u0", "A")
+        assert answer.accessible
+        assert answer.selected is not None
+        amap = orc.result.access_map()
+        assert (answer.selected.x, answer.selected.y) == (
+            amap[("u0", "A")].x,
+            amap[("u0", "A")].y,
+        )
+
+    def test_alternatives_in_cost_order_and_translated(self, oracle):
+        orc, design = oracle
+        answer = orc.query("u2", "Z")
+        assert answer.alternatives
+        inst = design.instance("u2")
+        for ap in answer.alternatives:
+            assert inst.bbox.xlo <= ap.x <= inst.bbox.xhi
+        costs = [ap.cost for ap in answer.alternatives]
+        # Generation order is the coordinate ladder: the non-preferred
+        # type (dominant cost term) never decreases.
+        t1s = [int(ap.nonpref_type) for ap in answer.alternatives]
+        assert t1s == sorted(t1s)
+
+    def test_selected_is_among_alternatives(self, oracle):
+        orc, _ = oracle
+        answer = orc.query("u1", "A")
+        positions = {(ap.x, ap.y) for ap in answer.alternatives}
+        assert (answer.selected.x, answer.selected.y) in positions
+
+    def test_unknown_pin_answers_inaccessible(self, oracle):
+        orc, _ = oracle
+        answer = orc.query("u0", "NOPE")
+        assert not answer.accessible
+        assert answer.alternatives == []
+
+    def test_unknown_instance_raises(self, oracle):
+        orc, _ = oracle
+        with pytest.raises(KeyError):
+            orc.query("ghost", "A")
+
+    def test_accessible_fraction_full(self, oracle):
+        orc, _ = oracle
+        assert orc.accessible_fraction() == 1.0
+
+    def test_signature_exposed(self, oracle):
+        orc, design = oracle
+        sig0 = orc.signature_of("u0")
+        sig2 = orc.signature_of("u2")
+        assert sig0 == sig2  # same unique instance (see signature tests)
+        assert sig0[0] == "CELL_X1"

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for the framework's core machinery."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.apgen import AccessPoint
+from repro.core.coords import CoordType
+from repro.core.dpgraph import LayeredDpGraph
+from repro.core.patterngen import order_pins
+from repro.tech.rules import SpacingTable
+
+
+# -- DP optimality against brute force ----------------------------------------
+
+
+@st.composite
+def dp_problems(draw):
+    num_groups = draw(st.integers(min_value=1, max_value=4))
+    groups = []
+    for g in range(num_groups):
+        size = draw(st.integers(min_value=1, max_value=3))
+        groups.append([f"g{g}v{v}" for v in range(size)])
+    # Random positive edge costs, drawn as a dict seeded from a list.
+    costs = {}
+    rng_values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=20),
+            min_size=60,
+            max_size=60,
+        )
+    )
+    counter = itertools.count()
+
+    def edge_cost(prev, curr, prev_prev):
+        key = (prev, curr)
+        if key not in costs:
+            costs[key] = rng_values[next(counter) % len(rng_values)]
+        return costs[key]
+
+    return groups, edge_cost, costs
+
+
+class TestDpOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(dp_problems())
+    def test_dp_matches_brute_force(self, problem):
+        groups, edge_cost, costs = problem
+        graph = LayeredDpGraph(groups)
+        path, total = graph.solve(edge_cost)
+
+        # Brute force over every combination, re-using the now-frozen
+        # cost dictionary.
+        def cost_of(combo):
+            cost = costs[(None, combo[0])]
+            for prev, curr in zip(combo, combo[1:]):
+                cost += costs[(prev, curr)]
+            return cost
+
+        best = min(cost_of(c) for c in itertools.product(*groups))
+        assert total == best
+        assert cost_of(tuple(path)) == total
+
+
+# -- pin ordering -------------------------------------------------------------
+
+
+def _ap(x, y):
+    return AccessPoint(
+        x=x,
+        y=y,
+        layer_name="M1",
+        pref_type=CoordType.ON_TRACK,
+        nonpref_type=CoordType.ON_TRACK,
+        valid_vias=["V12_P"],
+    )
+
+
+class TestOrderPinsProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from(["A", "B", "C", "D", "E"]),
+            st.lists(
+                st.tuples(
+                    st.integers(0, 10000), st.integers(0, 10000)
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+        ),
+        st.floats(min_value=0, max_value=2),
+    )
+    def test_order_is_permutation_and_deterministic(self, raw, alpha):
+        aps = {k: [_ap(x, y) for x, y in v] for k, v in raw.items()}
+        order1 = order_pins(aps, alpha)
+        order2 = order_pins(aps, alpha)
+        assert order1 == order2
+        assert sorted(order1) == sorted(aps)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10000), st.integers(0, 10000)),
+            min_size=2,
+            max_size=6,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_alpha_zero_orders_by_x(self, coords):
+        aps = {f"P{i}": [_ap(x, y)] for i, (x, y) in enumerate(coords)}
+        order = order_pins(aps, 0.0)
+        xs = [aps[name][0].x for name in order]
+        assert xs == sorted(xs)
+
+
+# -- spacing table monotonicity --------------------------------------------------
+
+
+@st.composite
+def spacing_tables(draw):
+    num_prl = draw(st.integers(min_value=1, max_value=4))
+    prl_values = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 1000),
+                min_size=num_prl,
+                max_size=num_prl,
+                unique=True,
+            )
+        )
+    )
+    num_rows = draw(st.integers(min_value=1, max_value=4))
+    widths = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 500),
+                min_size=num_rows,
+                max_size=num_rows,
+                unique=True,
+            )
+        )
+    )
+    rows = []
+    base = draw(st.integers(10, 100))
+    for r, width in enumerate(widths):
+        # Spacings non-decreasing along both axes by construction.
+        rows.append(
+            (width, [base + 10 * r + 5 * c for c in range(num_prl)])
+        )
+    return SpacingTable(prl_values=prl_values, width_rows=rows)
+
+
+class TestSpacingTableProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        spacing_tables(),
+        st.integers(0, 600),
+        st.integers(-100, 1200),
+    )
+    def test_lookup_within_table_values(self, table, width, prl):
+        value = table.lookup(width, prl)
+        all_values = [s for _, row in table.width_rows for s in row]
+        assert value in all_values
+        assert value <= table.max_spacing
+
+    @settings(max_examples=60, deadline=None)
+    @given(spacing_tables(), st.integers(0, 600), st.integers(0, 1200))
+    def test_monotone_in_width_and_prl(self, table, width, prl):
+        value = table.lookup(width, prl)
+        assert table.lookup(width + 50, prl) >= value
+        assert table.lookup(width, prl + 100) >= value
+
+
+# -- access point invariants -------------------------------------------------------
+
+
+class TestAccessPointProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(-10000, 10000),
+        st.integers(-10000, 10000),
+        st.integers(-500, 500),
+        st.integers(-500, 500),
+    )
+    def test_translation_composes(self, x, y, dx, dy):
+        ap = _ap(x, y)
+        moved = ap.translated(dx, dy).translated(-dx, -dy)
+        assert (moved.x, moved.y) == (ap.x, ap.y)
+        assert moved.cost == ap.cost

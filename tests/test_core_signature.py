@@ -1,0 +1,99 @@
+"""Unit tests for unique instance extraction."""
+
+import pytest
+
+from repro.core.signature import instance_signature, unique_instances
+from repro.db.inst import Instance
+from repro.db.tracks import TrackPattern
+from repro.geom.point import Point
+from repro.geom.transform import Orientation
+from repro.tech.layer import RoutingDirection
+
+from tests.conftest import make_simple_design, make_simple_master
+
+
+class TestSignature:
+    def test_same_placement_modulo_tracks_same_signature(self, n45):
+        design = make_simple_design(n45, num_instances=0)
+        master = design.masters["CELL_X1"]
+        # Track step on M1 is 140 and on M2 is 140 in the simple design;
+        # x offsets 1400 and 2800 are both 0 mod 140.
+        a = design.add_instance(Instance("a", master, Point(1400, 1400)))
+        b = design.add_instance(Instance("b", master, Point(2800, 1400)))
+        assert instance_signature(design, a) == instance_signature(design, b)
+
+    def test_different_orientation_differs(self, n45):
+        design = make_simple_design(n45, num_instances=0)
+        master = design.masters["CELL_X1"]
+        a = design.add_instance(Instance("a", master, Point(1400, 1400)))
+        b = design.add_instance(
+            Instance("b", master, Point(2800, 1400), Orientation.MX)
+        )
+        assert instance_signature(design, a) != instance_signature(design, b)
+
+    def test_track_offset_differs(self, n45):
+        design = make_simple_design(n45, num_instances=0)
+        design.add_track_pattern(
+            TrackPattern("M2", RoutingDirection.VERTICAL, 50, 120, 100)
+        )
+        master = design.masters["CELL_X1"]
+        # 1400 mod 120 = 80; 1500 mod 120 = 60: different signatures.
+        a = design.add_instance(Instance("a", master, Point(1400, 1400)))
+        b = design.add_instance(Instance("b", master, Point(1500, 1400)))
+        assert instance_signature(design, a) != instance_signature(design, b)
+
+    def test_master_name_in_signature(self, n45):
+        design = make_simple_design(n45, num_instances=1)
+        sig = instance_signature(design, design.instance("u0"))
+        assert sig[0] == "CELL_X1"
+
+
+class TestUniqueInstances:
+    def test_grouping_and_members(self, n45):
+        design = make_simple_design(n45, num_instances=3)
+        uis = unique_instances(design)
+        # The cell is 700 wide but upper-layer tracks have a 280 pitch,
+        # so alternating placements differ in their upper-layer offsets:
+        # u0/u2 share a signature, u1 gets its own (the paper's "offsets
+        # to all track patterns" rule).
+        assert len(uis) == 2
+        assert [m.name for m in uis[0].members] == ["u0", "u2"]
+        assert [m.name for m in uis[1].members] == ["u1"]
+        assert uis[0].representative.name == "u0"
+
+    def test_first_seen_order(self, n45):
+        design = make_simple_design(n45, num_instances=1)
+        master2 = make_simple_master(name="OTHER")
+        design.add_master(master2)
+        design.add_instance(Instance("x", master2, Point(4200, 1400)))
+        uis = unique_instances(design)
+        assert [u.master_name for u in uis] == ["CELL_X1", "OTHER"]
+
+    def test_translation_to_member(self, n45):
+        design = make_simple_design(n45, num_instances=3)
+        ui = unique_instances(design)[0]
+        member = design.instance("u2")
+        dx, dy = ui.translation_to(member)
+        assert (dx, dy) == (1400, 0)
+
+    def test_translation_rejects_wrong_master(self, n45):
+        design = make_simple_design(n45, num_instances=1)
+        master2 = make_simple_master(name="OTHER")
+        design.add_master(master2)
+        other = design.add_instance(Instance("x", master2, Point(4200, 1400)))
+        ui = unique_instances(design)[0]
+        with pytest.raises(ValueError):
+            ui.translation_to(other)
+
+    def test_misaligned_tracks_multiply_unique_instances(self):
+        from repro.bench import build_testcase
+
+        aligned = build_testcase("ispd18_test9", scale=0.003)
+        misaligned = build_testcase("ispd18_test4", scale=0.003)
+        per_master_aligned = len(unique_instances(aligned)) / max(
+            1, len({i.master.name for i in aligned.instances.values()})
+        )
+        per_master_misaligned = len(unique_instances(misaligned)) / max(
+            1, len({i.master.name for i in misaligned.instances.values()})
+        )
+        assert per_master_misaligned > per_master_aligned

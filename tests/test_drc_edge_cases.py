@@ -1,0 +1,117 @@
+"""DRC engine edge cases: degenerate geometry, stacked contexts."""
+
+import pytest
+
+from repro.drc.context import ShapeContext
+from repro.drc.engine import DrcEngine
+from repro.drc.spacing import check_metal_spacing
+from repro.geom.rect import Rect
+
+
+@pytest.fixture
+def engine(n45):
+    return DrcEngine(n45)
+
+
+class TestDegenerateGeometry:
+    def test_touching_same_net_shapes_merge(self, engine, n45):
+        # Two abutting same-net rects: no short, no spacing issue.
+        ctx = ShapeContext(bucket=1000)
+        ctx.add("M1", Rect(0, 0, 100, 70), "a")
+        out = engine.check_metal_rect(
+            "M1", Rect(100, 0, 200, 70), "a", ctx
+        )
+        assert out == []
+
+    def test_touching_foreign_shapes_violate(self, engine):
+        # Abutting foreign rects share no area (no short) but have
+        # zero gap: a spacing violation, plus each side's line-end EOL
+        # triggers against the other.
+        ctx = ShapeContext(bucket=1000)
+        ctx.add("M1", Rect(0, 0, 100, 70), "b")
+        out = engine.check_metal_rect(
+            "M1", Rect(100, 0, 200, 70), "a", ctx
+        )
+        rules = sorted(v.rule for v in out)
+        assert rules == ["eol-spacing", "eol-spacing", "metal-spacing"]
+
+    def test_identical_foreign_rect_is_short(self, engine):
+        ctx = ShapeContext(bucket=1000)
+        ctx.add("M1", Rect(0, 0, 100, 70), "b")
+        out = engine.check_metal_rect("M1", Rect(0, 0, 100, 70), "a", ctx)
+        assert any(v.rule == "metal-short" for v in out)
+
+    def test_empty_context_always_clean(self, engine):
+        ctx = ShapeContext(bucket=1000)
+        assert engine.check_metal_rect(
+            "M1", Rect(0, 0, 100, 70), "a", ctx
+        ) == []
+
+    def test_multiple_violations_all_reported(self, engine):
+        ctx = ShapeContext(bucket=1000)
+        # Foreign shapes on both sides, both too close.
+        ctx.add("M1", Rect(-200, 0, -31, 70), "b")
+        ctx.add("M1", Rect(131, 0, 300, 70), "c")
+        out = engine.check_metal_rect("M1", Rect(0, 0, 100, 70), "a", ctx)
+        spacing = [v for v in out if v.rule == "metal-spacing"]
+        assert len(spacing) == 2
+
+
+class TestViaPlacementEdges:
+    def test_via_on_cell_edge_vs_obstruction(self, engine, n45):
+        via = n45.primary_via_from("M1")
+        ctx = ShapeContext(bucket=1000)
+        ctx.add("M1", Rect(0, 0, 500, 140), "net")
+        # An obstruction above, exactly at min spacing from enclosure:
+        # enclosure top at y=105 when dropped at y=70.
+        ctx.add("M1", Rect(0, 175, 500, 400), None)
+        out = engine.check_via_placement(via, 250, 70, "net", ctx)
+        assert out == []
+        ctx.add("M1", Rect(0, 170, 500, 174), None)
+        out = engine.check_via_placement(via, 250, 70, "net", ctx)
+        assert any(v.rule == "metal-spacing" for v in out)
+
+    def test_secondary_via_differs_from_primary(self, engine, n45):
+        # On a narrow vertical pin the primary (wide) enclosure
+        # protrudes sideways at exactly min-step length (clean), while
+        # the square secondary enclosure protrudes less -- dirty.
+        primary = n45.via("V12_P")
+        secondary = n45.via("V12_S")
+        ctx = ShapeContext(bucket=1000)
+        pin = Rect(0, 0, 70, 500)  # vbar
+        ctx.add("M1", pin, "net")
+        out_p = engine.check_via_placement(primary, 35, 250, "net", ctx)
+        out_s = engine.check_via_placement(secondary, 35, 250, "net", ctx)
+        assert out_p == []
+        assert any(v.rule == "min-step" for v in out_s)
+
+
+class TestContextSemantics:
+    def test_query_window_respects_layers(self):
+        ctx = ShapeContext(bucket=1000)
+        ctx.add("M1", Rect(0, 0, 10, 10), "a")
+        assert ctx.query("M2", Rect(0, 0, 10, 10)) == []
+
+    def test_tuple_net_keys(self, engine):
+        ctx = ShapeContext(bucket=1000)
+        ctx.add("M1", Rect(0, 0, 100, 70), ("inst", "pin"))
+        assert (
+            engine.check_metal_rect(
+                "M1", Rect(50, 0, 150, 70), ("inst", "pin"), ctx
+            )
+            == []
+        )
+        out = engine.check_metal_rect(
+            "M1", Rect(50, 0, 150, 70), ("inst", "other"), ctx
+        )
+        assert any(v.rule == "metal-short" for v in out)
+
+    def test_prl_uses_wider_shape(self, n45):
+        # A narrow target near a wide aggressor with a long run still
+        # picks the wide-row spacing.
+        m1 = n45.layer("M1")
+        ctx = ShapeContext(bucket=2000)
+        ctx.add("M1", Rect(0, 0, 2000, 300), "b")  # wide shape
+        narrow = Rect(0, 400, 2000, 470)  # gap 100
+        out = check_metal_spacing(m1, narrow, "a", ctx)
+        assert [v.rule for v in out] == ["metal-spacing"]

@@ -1,0 +1,129 @@
+"""Unit tests for min-step, min-area and cut spacing checks."""
+
+import pytest
+
+from repro.drc.context import ShapeContext
+from repro.drc.cutspacing import check_cut_spacing
+from repro.drc.minarea import check_min_area
+from repro.drc.minstep import check_min_step
+from repro.geom.rect import Rect
+from repro.tech.rules import MinStepRule
+
+
+@pytest.fixture
+def m1(n45):
+    return n45.layer("M1")  # min_step_length=35, max_edges=0
+
+
+class TestMinStep:
+    def test_plain_rect_clean(self, m1):
+        assert check_min_step(m1, [Rect(0, 0, 500, 70)]) == []
+
+    def test_partial_protrusion_dirty(self, m1):
+        # Enclosure sticking 15 below a pin: two 15-long edges.
+        pin = Rect(0, 0, 500, 100)
+        enclosure = Rect(180, -15, 320, 55)
+        out = check_min_step(m1, [pin, enclosure])
+        assert len(out) == 2
+        assert all(v.rule == "min-step" for v in out)
+
+    def test_flush_protrusion_clean(self, m1):
+        pin = Rect(0, 0, 500, 100)
+        enclosure = Rect(180, 0, 320, 70)  # flush at the bottom edge
+        assert check_min_step(m1, [pin, enclosure]) == []
+
+    def test_contained_enclosure_clean(self, m1):
+        pin = Rect(0, 0, 500, 100)
+        enclosure = Rect(180, 15, 320, 85)
+        assert check_min_step(m1, [pin, enclosure]) == []
+
+    def test_protrusion_at_exactly_min_step_clean(self, m1):
+        pin = Rect(0, 0, 500, 100)
+        enclosure = Rect(180, -35, 320, 35)  # 35-long side edges
+        assert check_min_step(m1, [pin, enclosure]) == []
+
+    def test_max_edges_tolerance(self, n45):
+        layer = n45.layer("M1")
+        original = layer.min_step
+        try:
+            layer.min_step = MinStepRule(min_step_length=35, max_edges=2)
+            pin = Rect(0, 0, 500, 100)
+            enclosure = Rect(180, -15, 320, 55)
+            # Each run is a single short edge <= max_edges: tolerated.
+            assert check_min_step(layer, [pin, enclosure]) == []
+        finally:
+            layer.min_step = original
+
+    def test_tiny_polygon_single_violation(self, m1):
+        out = check_min_step(m1, [Rect(0, 0, 20, 20)])
+        assert len(out) == 1
+
+    def test_no_rule_layer(self, n45):
+        v12 = n45.layer("V12")
+        assert check_min_step(v12, [Rect(0, 0, 5, 5)]) == []
+
+    def test_empty_rects(self, m1):
+        assert check_min_step(m1, []) == []
+
+
+class TestMinArea:
+    def test_clean_above_threshold(self, m1):
+        # min area = 4 * 70 * 70 = 19600.
+        assert check_min_area(m1, [Rect(0, 0, 280, 70)]) == []
+
+    def test_violation_below_threshold(self, m1):
+        out = check_min_area(m1, [Rect(0, 0, 100, 70)])
+        assert [v.rule for v in out] == ["min-area"]
+
+    def test_union_counts_not_sum_of_parts(self, m1):
+        # Two overlapping rects whose union is below min area.
+        rects = [Rect(0, 0, 150, 70), Rect(100, 0, 250, 70)]
+        out = check_min_area(m1, rects)
+        assert [v.rule for v in out] == ["min-area"]
+
+    def test_exactly_min_area_clean(self, m1):
+        side = 140
+        assert m1.min_area.min_area == 19600
+        assert check_min_area(m1, [Rect(0, 0, side, side)]) == []
+
+
+class TestCutSpacing:
+    def cut_ctx(self, rect, key="b"):
+        ctx = ShapeContext(bucket=1000)
+        ctx.add("V12", rect, key)
+        return ctx
+
+    def test_clean_at_required_spacing(self, n45):
+        v12 = n45.layer("V12")  # spacing 80
+        cut = Rect(0, 0, 70, 70)
+        ctx = self.cut_ctx(Rect(150, 0, 220, 70))
+        assert check_cut_spacing(v12, cut, "a", ctx) == []
+
+    def test_violation_below_spacing(self, n45):
+        v12 = n45.layer("V12")
+        cut = Rect(0, 0, 70, 70)
+        ctx = self.cut_ctx(Rect(145, 0, 215, 70))
+        out = check_cut_spacing(v12, cut, "a", ctx)
+        assert [v.rule for v in out] == ["cut-spacing"]
+
+    def test_overlap_is_short(self, n45):
+        v12 = n45.layer("V12")
+        cut = Rect(0, 0, 70, 70)
+        ctx = self.cut_ctx(Rect(30, 0, 100, 70))
+        out = check_cut_spacing(v12, cut, "a", ctx)
+        assert [v.rule for v in out] == ["cut-short"]
+
+    def test_same_net_distinct_cuts_still_checked(self, n45):
+        # Cut spacing applies within a net too.
+        v12 = n45.layer("V12")
+        cut = Rect(0, 0, 70, 70)
+        ctx = self.cut_ctx(Rect(100, 0, 170, 70), key="a")
+        out = check_cut_spacing(v12, cut, "a", ctx)
+        assert [v.rule for v in out] == ["cut-spacing"]
+
+    def test_identical_cut_same_net_skipped(self, n45):
+        # The cut itself appearing in the context is not a violation.
+        v12 = n45.layer("V12")
+        cut = Rect(0, 0, 70, 70)
+        ctx = self.cut_ctx(Rect(0, 0, 70, 70), key="a")
+        assert check_cut_spacing(v12, cut, "a", ctx) == []

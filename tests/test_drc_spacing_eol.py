@@ -1,0 +1,140 @@
+"""Unit tests for metal spacing and end-of-line checks."""
+
+import pytest
+
+from repro.drc.context import ShapeContext
+from repro.drc.eol import check_eol_spacing, eol_trigger_regions
+from repro.drc.spacing import check_metal_spacing
+from repro.geom.rect import Rect
+
+
+@pytest.fixture
+def m1(n45):
+    return n45.layer("M1")
+
+
+def ctx_with(shapes):
+    ctx = ShapeContext(bucket=1000)
+    for layer, rect, key in shapes:
+        ctx.add(layer, rect, key)
+    return ctx
+
+
+class TestMetalSpacing:
+    def test_clean_when_far(self, m1):
+        ctx = ctx_with([("M1", Rect(1000, 0, 1100, 70), "b")])
+        out = check_metal_spacing(m1, Rect(0, 0, 100, 70), "a", ctx)
+        assert out == []
+
+    def test_short_on_overlap(self, m1):
+        ctx = ctx_with([("M1", Rect(50, 0, 150, 70), "b")])
+        out = check_metal_spacing(m1, Rect(0, 0, 100, 70), "a", ctx)
+        assert [v.rule for v in out] == ["metal-short"]
+        assert out[0].marker == Rect(50, 0, 100, 70)
+
+    def test_spacing_violation_below_minimum(self, m1):
+        # Gap 69 < 70 required.
+        ctx = ctx_with([("M1", Rect(169, 0, 300, 70), "b")])
+        out = check_metal_spacing(m1, Rect(0, 0, 100, 70), "a", ctx)
+        assert [v.rule for v in out] == ["metal-spacing"]
+
+    def test_exact_minimum_is_clean(self, m1):
+        ctx = ctx_with([("M1", Rect(170, 0, 300, 70), "b")])
+        assert check_metal_spacing(m1, Rect(0, 0, 100, 70), "a", ctx) == []
+
+    def test_same_net_skipped(self, m1):
+        ctx = ctx_with([("M1", Rect(50, 0, 150, 70), "a")])
+        assert check_metal_spacing(m1, Rect(0, 0, 100, 70), "a", ctx) == []
+
+    def test_obstruction_is_always_foreign(self, m1):
+        ctx = ctx_with([("M1", Rect(50, 0, 150, 70), None)])
+        out = check_metal_spacing(m1, Rect(0, 0, 100, 70), "a", ctx)
+        assert [v.rule for v in out] == ["metal-short"]
+
+    def test_none_netkey_shape_is_foreign_to_everything(self, m1):
+        ctx = ctx_with([("M1", Rect(50, 0, 150, 70), "b")])
+        out = check_metal_spacing(m1, Rect(0, 0, 100, 70), None, ctx)
+        assert len(out) == 1
+
+    def test_prl_widens_required_spacing(self, m1):
+        # Two wide shapes (width 280 >= 4x70) with long parallel run:
+        # table requires 2.3 * 70 = 161; a gap of 100 violates.
+        wide_a = Rect(0, 0, 1000, 280)
+        wide_b = Rect(0, 380, 1000, 660)
+        ctx = ctx_with([("M1", wide_b, "b")])
+        out = check_metal_spacing(m1, wide_a, "a", ctx)
+        assert [v.rule for v in out] == ["metal-spacing"]
+
+    def test_narrow_shapes_same_gap_clean(self, m1):
+        # Same 100 gap is legal for narrow shapes.
+        a = Rect(0, 0, 1000, 70)
+        b = Rect(0, 170, 1000, 240)
+        ctx = ctx_with([("M1", b, "b")])
+        assert check_metal_spacing(m1, a, "a", ctx) == []
+
+    def test_diagonal_corner_distance(self, m1):
+        # Corner-to-corner distance sqrt(50^2+50^2) ~ 70.7 -> clean;
+        # sqrt(40^2+40^2) ~ 56 -> violation.
+        ctx = ctx_with([("M1", Rect(150, 120, 300, 190), "b")])
+        assert check_metal_spacing(m1, Rect(0, 0, 100, 70), "a", ctx) == []
+        ctx = ctx_with([("M1", Rect(140, 110, 300, 190), "b")])
+        out = check_metal_spacing(m1, Rect(0, 0, 100, 70), "a", ctx)
+        assert [v.rule for v in out] == ["metal-spacing"]
+
+
+class TestEolTriggerRegions:
+    def test_narrow_rect_has_four_regions(self, m1):
+        # Both dimensions below eol width (90): all four edges are ends.
+        regions = eol_trigger_regions(m1, Rect(0, 0, 80, 80))
+        assert len(regions) == 4
+
+    def test_wire_has_two_end_regions(self, m1):
+        regions = eol_trigger_regions(m1, Rect(0, 0, 1000, 70))
+        assert len(regions) == 2
+        # Regions extend eol_space=90 beyond the left/right edges.
+        assert any(r.xlo == -90 for r in regions)
+        assert any(r.xhi == 1090 for r in regions)
+
+    def test_wide_rect_has_none(self, m1):
+        assert eol_trigger_regions(m1, Rect(0, 0, 200, 200)) == []
+
+
+class TestEolSpacing:
+    def test_violation_ahead_of_line_end(self, m1):
+        wire = Rect(0, 0, 1000, 70)  # height 70 < eolWidth 90
+        # Foreign metal 80 ahead of the right end (< eolSpace 90).
+        ctx = ctx_with([("M1", Rect(1080, 0, 1300, 70), "b")])
+        out = check_eol_spacing(m1, wire, "a", ctx)
+        assert any(v.rule == "eol-spacing" for v in out)
+
+    def test_clean_beyond_eol_space(self, m1):
+        wire = Rect(0, 0, 1000, 70)
+        ctx = ctx_with([("M1", Rect(1090, 0, 1300, 70), "b")])
+        assert check_eol_spacing(m1, wire, "a", ctx) == []
+
+    def test_within_window_matters(self, m1):
+        wire = Rect(0, 0, 1000, 70)
+        # Foreign shape ahead but displaced in y beyond within=25.
+        ctx = ctx_with([("M1", Rect(1050, 96, 1300, 170), "b")])
+        assert check_eol_spacing(m1, wire, "a", ctx) == []
+        # Displaced less than within: violation.
+        ctx = ctx_with([("M1", Rect(1050, 90, 1300, 170), "b")])
+        out = check_eol_spacing(m1, wire, "a", ctx)
+        assert any(v.rule == "eol-spacing" for v in out)
+
+    def test_symmetric_reverse_direction(self, m1):
+        # Our rect is wide (no line end), but the foreign shape's line
+        # end faces us: still a violation, reported from their side.
+        ours = Rect(0, 0, 300, 300)
+        ctx = ctx_with([("M1", Rect(380, 100, 600, 170), "b")])
+        out = check_eol_spacing(m1, ours, "a", ctx)
+        assert any(v.rule == "eol-spacing" for v in out)
+
+    def test_same_net_skipped(self, m1):
+        wire = Rect(0, 0, 1000, 70)
+        ctx = ctx_with([("M1", Rect(1080, 0, 1300, 70), "a")])
+        assert check_eol_spacing(m1, wire, "a", ctx) == []
+
+    def test_layer_without_rule(self, n45):
+        v12 = n45.layer("V12")
+        assert check_eol_spacing(v12, Rect(0, 0, 10, 10), "a", ctx_with([])) == []

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs and prints its headline."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "PAAF:" in proc.stdout
+        assert "0 failed pins" in proc.stdout
+
+    def test_concepts_tour(self):
+        proc = run_example("concepts_tour.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "2 unique instances" in proc.stdout
+        assert "DRC-clean" in proc.stdout
+        assert "min-step" in proc.stdout
+
+    def test_custom_cell_analysis(self):
+        proc = run_example("custom_cell_analysis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Failed pins: none" in proc.stdout
+
+    def test_ispd18_flow(self):
+        proc = run_example("ispd18_flow.py", "ispd18_test1", "0.005")
+        assert proc.returncode == 0, proc.stderr
+        assert "Table II" in proc.stdout
+        assert "Table III" in proc.stdout
+
+    def test_aes_14nm_study(self):
+        proc = run_example("aes_14nm_study.py", "0.01")
+        assert proc.returncode == 0, proc.stderr
+        assert "0 without DRC-clean" in proc.stdout
+
+    def test_placement_loop(self):
+        proc = run_example("placement_loop.py", "0.003")
+        assert proc.returncode == 0, proc.stderr
+        assert "0 failed pins" in proc.stdout
+        assert "incremental total" in proc.stdout
+
+    def test_oracle_queries(self):
+        proc = run_example("oracle_queries.py", "0.003")
+        assert proc.returncode == 0, proc.stderr
+        assert "100% of pins accessible" in proc.stdout
+        assert "queries/s" in proc.stdout
+
+    def test_figure_gallery(self, tmp_path):
+        proc = run_example("figure_gallery.py", "0.002")
+        assert proc.returncode == 0, proc.stderr
+        assert "fig8_paaf.svg: 0 pin-access DRC markers" in proc.stdout
+
+    @pytest.mark.slow
+    def test_routing_comparison(self):
+        proc = run_example("routing_comparison.py", "0.003")
+        assert proc.returncode == 0, proc.stderr
+        assert "reduction" in proc.stdout

@@ -1,0 +1,73 @@
+"""Unit tests for maximal rectangle enumeration."""
+
+from repro.geom.maxrect import maximal_rectangles
+from repro.geom.polygon import RectilinearPolygon
+from repro.geom.rect import Rect
+
+
+def maxrects(rects):
+    return maximal_rectangles(RectilinearPolygon(rects))
+
+
+class TestMaximalRectangles:
+    def test_single_rect_is_its_own_maximal(self):
+        assert maxrects([Rect(0, 0, 10, 20)]) == [Rect(0, 0, 10, 20)]
+
+    def test_l_shape_has_two(self):
+        out = maxrects([Rect(0, 0, 100, 40), Rect(0, 0, 40, 100)])
+        assert sorted(out) == sorted(
+            [Rect(0, 0, 100, 40), Rect(0, 0, 40, 100)]
+        )
+
+    def test_t_shape_has_two(self):
+        out = maxrects([Rect(0, 0, 100, 40), Rect(40, 0, 60, 100)])
+        assert sorted(out) == sorted(
+            [Rect(0, 0, 100, 40), Rect(40, 0, 60, 100)]
+        )
+
+    def test_plus_shape_has_three(self):
+        out = maxrects([Rect(10, 0, 20, 30), Rect(0, 10, 30, 20)])
+        assert sorted(out) == sorted(
+            [
+                Rect(10, 0, 20, 30),
+                Rect(0, 10, 30, 20),
+            ]
+        )
+
+    def test_staircase_has_three(self):
+        stairs = [
+            Rect(0, 0, 30, 10),
+            Rect(0, 10, 20, 20),
+            Rect(0, 20, 10, 30),
+        ]
+        out = maxrects(stairs)
+        assert sorted(out) == sorted(
+            [
+                Rect(0, 0, 30, 10),
+                Rect(0, 0, 20, 20),
+                Rect(0, 0, 10, 30),
+            ]
+        )
+
+    def test_every_maximal_rect_is_contained(self):
+        shape = [Rect(0, 0, 100, 40), Rect(40, 20, 60, 100)]
+        poly = RectilinearPolygon(shape)
+        for rect in maximal_rectangles(poly):
+            assert poly.contains_rect(rect)
+
+    def test_maximality_no_rect_contains_another(self):
+        shape = [
+            Rect(0, 0, 100, 40),
+            Rect(40, 0, 60, 100),
+            Rect(0, 60, 100, 100),
+        ]
+        out = maxrects(shape)
+        for i, a in enumerate(out):
+            for j, b in enumerate(out):
+                if i != j:
+                    assert not a.contains_rect(b)
+
+    def test_overlapping_input_rects(self):
+        # Overlap along x: the union is one rect, so one maximal rect.
+        out = maxrects([Rect(0, 0, 60, 40), Rect(40, 0, 100, 40)])
+        assert out == [Rect(0, 0, 100, 40)]

@@ -1,0 +1,97 @@
+"""Unit tests for points and intervals."""
+
+import pytest
+
+from repro.geom.interval import Interval, union_intervals
+from repro.geom.point import Point, manhattan_distance
+
+
+class TestPoint:
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_translated(self):
+        assert Point(3, 4).translated(-1, 2) == Point(2, 6)
+
+    def test_immutability(self):
+        p = Point(0, 0)
+        with pytest.raises(Exception):
+            p.x = 5
+
+    def test_as_tuple_and_str(self):
+        assert Point(7, -2).as_tuple() == (7, -2)
+        assert str(Point(7, -2)) == "(7, -2)"
+
+    def test_manhattan_distance(self):
+        assert manhattan_distance(Point(0, 0), Point(3, 4)) == 7
+        assert manhattan_distance(Point(-1, -1), Point(1, 1)) == 4
+        assert manhattan_distance(Point(5, 5), Point(5, 5)) == 0
+
+
+class TestInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_degenerate_allowed(self):
+        iv = Interval(4, 4)
+        assert iv.length == 0
+        assert iv.contains(4)
+
+    def test_length_and_center(self):
+        iv = Interval(10, 30)
+        assert iv.length == 20
+        assert iv.center == 20
+        assert Interval(0, 5).center == 2  # rounds toward lo
+
+    def test_contains(self):
+        iv = Interval(0, 10)
+        assert iv.contains(0) and iv.contains(10) and iv.contains(5)
+        assert not iv.contains(-1) and not iv.contains(11)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 8))
+        assert Interval(0, 10).contains_interval(Interval(0, 10))
+        assert not Interval(0, 10).contains_interval(Interval(-1, 5))
+
+    def test_overlaps_closed_semantics(self):
+        assert Interval(0, 10).overlaps(Interval(10, 20))  # touch counts
+        assert not Interval(0, 10).overlaps(Interval(11, 20))
+
+    def test_overlap_length_signs(self):
+        assert Interval(0, 10).overlap_length(Interval(5, 20)) == 5
+        assert Interval(0, 10).overlap_length(Interval(10, 20)) == 0
+        assert Interval(0, 10).overlap_length(Interval(15, 20)) == -5
+
+    def test_distance(self):
+        assert Interval(0, 10).distance(Interval(15, 20)) == 5
+        assert Interval(0, 10).distance(Interval(5, 20)) == 0
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+        with pytest.raises(ValueError):
+            Interval(0, 10).intersect(Interval(11, 20))
+
+    def test_hull_and_bloat(self):
+        assert Interval(0, 5).hull(Interval(8, 9)) == Interval(0, 9)
+        assert Interval(5, 10).bloated(3) == Interval(2, 13)
+
+
+class TestUnionIntervals:
+    def test_empty(self):
+        assert union_intervals([]) == []
+
+    def test_disjoint_kept_sorted(self):
+        out = union_intervals([Interval(10, 20), Interval(0, 5)])
+        assert out == [Interval(0, 5), Interval(10, 20)]
+
+    def test_touching_merge(self):
+        out = union_intervals([Interval(0, 5), Interval(5, 9)])
+        assert out == [Interval(0, 9)]
+
+    def test_nested_merge(self):
+        out = union_intervals(
+            [Interval(0, 100), Interval(10, 20), Interval(50, 120)]
+        )
+        assert out == [Interval(0, 120)]

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geom.interval import Interval, union_intervals
+from repro.geom.maxrect import maximal_rectangles
+from repro.geom.point import Point
+from repro.geom.polygon import RectilinearPolygon, boundary_edges, merge_rects
+from repro.geom.rect import Rect
+from repro.geom.transform import Orientation, Transform
+
+coords = st.integers(min_value=-500, max_value=500)
+
+
+@st.composite
+def rects(draw, max_size=200):
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.integers(min_value=1, max_value=max_size))
+    h = draw(st.integers(min_value=1, max_value=max_size))
+    return Rect(x, y, x + w, y + h)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(coords)
+    length = draw(st.integers(min_value=0, max_value=300))
+    return Interval(lo, lo + length)
+
+
+class TestIntervalProperties:
+    @given(intervals(), intervals())
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.overlap_length(b) == b.overlap_length(a)
+        assert a.distance(b) == b.distance(a)
+
+    @given(intervals(), intervals())
+    def test_distance_zero_iff_overlapping(self, a, b):
+        assert (a.distance(b) == 0) == a.overlaps(b)
+
+    @given(st.lists(intervals(), max_size=10))
+    def test_union_covers_inputs(self, ivs):
+        merged = union_intervals(ivs)
+        for iv in ivs:
+            assert any(m.contains_interval(iv) for m in merged)
+
+    @given(st.lists(intervals(), min_size=1, max_size=10))
+    def test_union_output_disjoint_and_sorted(self, ivs):
+        merged = union_intervals(ivs)
+        for a, b in zip(merged, merged[1:]):
+            assert a.hi < b.lo
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_distance_symmetry(self, a, b):
+        assert a.distance(b) == b.distance(a)
+        assert a.prl(b) == b.prl(a)
+
+    @given(rects(), rects())
+    def test_intersects_iff_distance_zero(self, a, b):
+        assert a.intersects(b) == (a.distance(b) == 0)
+
+    @given(rects(), rects())
+    def test_hull_contains_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains_rect(a) and hull.contains_rect(b)
+
+    @given(rects(), st.integers(min_value=0, max_value=50))
+    def test_bloat_contains_original(self, r, amount):
+        assert r.bloated(amount).contains_rect(r)
+
+
+class TestPolygonProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(rects(max_size=60), min_size=1, max_size=6))
+    def test_merge_preserves_area(self, rs):
+        merged = merge_rects(rs)
+        # Disjointness means summed area equals union area; compare
+        # against an independent brute-force union area on a grid of
+        # elementary cells.
+        xs = sorted({r.xlo for r in rs} | {r.xhi for r in rs})
+        ys = sorted({r.ylo for r in rs} | {r.yhi for r in rs})
+        expected = 0
+        for x0, x1 in zip(xs, xs[1:]):
+            for y0, y1 in zip(ys, ys[1:]):
+                cx, cy = (x0 + x1) / 2, (y0 + y1) / 2
+                if any(r.xlo < cx < r.xhi and r.ylo < cy < r.yhi for r in rs):
+                    expected += (x1 - x0) * (y1 - y0)
+        assert sum(r.area for r in merged) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(rects(max_size=60), min_size=1, max_size=5))
+    def test_merged_rects_disjoint(self, rs):
+        merged = merge_rects(rs)
+        for i in range(len(merged)):
+            for j in range(i + 1, len(merged)):
+                assert not merged[i].overlaps(merged[j])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rects(max_size=60), min_size=1, max_size=4))
+    def test_boundary_loops_close(self, rs):
+        for loop in boundary_edges(rs):
+            assert len(loop) >= 4
+            # Each consecutive pair differs in exactly one axis.
+            n = len(loop)
+            for k in range(n):
+                a, b = loop[k], loop[(k + 1) % n]
+                assert (a.x == b.x) != (a.y == b.y)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rects(max_size=60), min_size=1, max_size=4))
+    def test_maximal_rects_contained_and_cover(self, rs):
+        poly = RectilinearPolygon(rs)
+        out = maximal_rectangles(poly)
+        assert out
+        for rect in out:
+            assert poly.contains_rect(rect)
+        # Every input rect is covered by some maximal rect extension:
+        # at minimum, total maximal area >= largest input rect area.
+        assert max(r.area for r in out) >= max(
+            min(r.area for r in out), 1
+        )
+
+
+class TestTransformProperties:
+    @given(rects(max_size=100), st.sampled_from(list(Orientation)))
+    def test_rect_roundtrip_dims(self, r, orient):
+        t = Transform(Point(0, 0), orient, 600, 600)
+        got = t.apply_rect(r)
+        if orient.swaps_axes:
+            assert (got.width, got.height) == (r.height, r.width)
+        else:
+            assert (got.width, got.height) == (r.width, r.height)

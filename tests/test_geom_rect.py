@@ -1,0 +1,110 @@
+"""Unit tests for rectangles."""
+
+import pytest
+
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+
+
+class TestConstruction:
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            Rect(10, 0, 0, 10)
+        with pytest.raises(ValueError):
+            Rect(0, 10, 10, 0)
+
+    def test_degenerate_allowed(self):
+        r = Rect(5, 5, 5, 5)
+        assert r.area == 0
+
+    def test_from_points_any_corner_order(self):
+        assert Rect.from_points(Point(10, 0), Point(0, 10)) == Rect(0, 0, 10, 10)
+
+    def test_centered_at_even(self):
+        r = Rect.centered_at(100, 100, 40, 20)
+        assert r == Rect(80, 90, 120, 110)
+        assert r.center == Point(100, 100)
+
+    def test_centered_at_odd_keeps_size(self):
+        r = Rect.centered_at(100, 100, 41, 21)
+        assert r.width == 41 and r.height == 21
+
+
+class TestAccessors:
+    def test_dims(self):
+        r = Rect(0, 0, 30, 10)
+        assert (r.width, r.height) == (30, 10)
+        assert r.min_dim == 10 and r.max_dim == 30
+        assert r.area == 300
+
+    def test_spans(self):
+        r = Rect(1, 2, 3, 4)
+        assert (r.xspan.lo, r.xspan.hi) == (1, 3)
+        assert (r.yspan.lo, r.yspan.hi) == (2, 4)
+
+    def test_corners_ccw(self):
+        r = Rect(0, 0, 2, 3)
+        assert r.corners() == [
+            Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3),
+        ]
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(10, 10))
+        assert not r.contains_point(Point(11, 5))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 8, 8))
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(0, 0, 10, 10))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 11, 8))
+
+    def test_intersects_touch(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(10, 0, 20, 10))
+
+    def test_overlaps_requires_area(self):
+        assert not Rect(0, 0, 10, 10).overlaps(Rect(10, 0, 20, 10))
+        assert Rect(0, 0, 10, 10).overlaps(Rect(9, 9, 20, 20))
+
+
+class TestDerived:
+    def test_intersection(self):
+        got = Rect(0, 0, 10, 10).intersection(Rect(5, 5, 20, 20))
+        assert got == Rect(5, 5, 10, 10)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6))
+
+    def test_hull(self):
+        assert Rect(0, 0, 1, 1).hull(Rect(5, 5, 6, 6)) == Rect(0, 0, 6, 6)
+
+    def test_bloat_shrink(self):
+        assert Rect(10, 10, 20, 20).bloated(5) == Rect(5, 5, 25, 25)
+        assert Rect(10, 10, 20, 20).bloated(-2) == Rect(12, 12, 18, 18)
+
+    def test_translated(self):
+        assert Rect(0, 0, 5, 5).translated(3, -1) == Rect(3, -1, 8, 4)
+
+
+class TestMetrics:
+    def test_distance_axis_aligned(self):
+        assert Rect(0, 0, 10, 10).distance(Rect(20, 0, 30, 10)) == 10
+        assert Rect(0, 0, 10, 10).distance(Rect(0, 25, 10, 30)) == 15
+
+    def test_distance_overlapping_is_zero(self):
+        assert Rect(0, 0, 10, 10).distance(Rect(5, 5, 15, 15)) == 0
+
+    def test_distance_diagonal_is_euclidean(self):
+        # gaps dx=3, dy=4 -> 5
+        assert Rect(0, 0, 10, 10).distance(Rect(13, 14, 20, 20)) == 5
+
+    def test_prl_positive_on_parallel_overlap(self):
+        a = Rect(0, 0, 100, 10)
+        b = Rect(50, 20, 200, 30)
+        assert a.prl(b) == 50
+
+    def test_prl_negative_on_diagonal(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(20, 20, 30, 30)
+        assert a.prl(b) == -10

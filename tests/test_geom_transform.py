@@ -1,0 +1,98 @@
+"""Unit tests for DEF orientations and placement transforms."""
+
+import pytest
+
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.geom.transform import Orientation, Transform
+
+W, H = 200, 100
+
+
+def xf(orient, offset=Point(0, 0)):
+    return Transform(offset=offset, orient=orient, width=W, height=H)
+
+
+class TestOrientation:
+    def test_def_names_roundtrip(self):
+        for orient in Orientation:
+            assert Orientation.from_def_name(orient.def_name) is orient
+
+    def test_unknown_def_name(self):
+        with pytest.raises(ValueError):
+            Orientation.from_def_name("Q")
+
+    def test_swaps_axes(self):
+        assert Orientation.R90.swaps_axes
+        assert Orientation.MX90.swaps_axes
+        assert not Orientation.R0.swaps_axes
+        assert not Orientation.MX.swaps_axes
+
+
+class TestTransformPoints:
+    def test_r0_identity(self):
+        assert xf(Orientation.R0).apply_point(Point(10, 20)) == Point(10, 20)
+
+    def test_r180(self):
+        assert xf(Orientation.R180).apply_point(Point(10, 20)) == Point(
+            W - 10, H - 20
+        )
+
+    def test_mx_flips_y(self):
+        assert xf(Orientation.MX).apply_point(Point(10, 20)) == Point(10, H - 20)
+
+    def test_my_flips_x(self):
+        assert xf(Orientation.MY).apply_point(Point(10, 20)) == Point(W - 10, 20)
+
+    def test_r90(self):
+        assert xf(Orientation.R90).apply_point(Point(10, 20)) == Point(H - 20, 10)
+
+    def test_r270(self):
+        assert xf(Orientation.R270).apply_point(Point(10, 20)) == Point(20, W - 10)
+
+    def test_mx90_swaps(self):
+        assert xf(Orientation.MX90).apply_point(Point(10, 20)) == Point(20, 10)
+
+    def test_my90(self):
+        assert xf(Orientation.MY90).apply_point(Point(10, 20)) == Point(
+            H - 20, W - 10
+        )
+
+    def test_offset_applied_after(self):
+        t = xf(Orientation.R180, offset=Point(1000, 2000))
+        assert t.apply_point(Point(0, 0)) == Point(1000 + W, 2000 + H)
+
+
+class TestTransformInvariants:
+    def test_corners_stay_in_placed_bbox(self):
+        for orient in Orientation:
+            t = xf(orient, offset=Point(500, 700))
+            bbox = t.bbox()
+            for corner in (
+                Point(0, 0), Point(W, 0), Point(0, H), Point(W, H),
+            ):
+                assert bbox.contains_point(t.apply_point(corner)), orient
+
+    def test_placed_dims(self):
+        for orient in Orientation:
+            t = xf(orient)
+            if orient.swaps_axes:
+                assert (t.placed_width, t.placed_height) == (H, W)
+            else:
+                assert (t.placed_width, t.placed_height) == (W, H)
+
+    def test_rect_area_preserved(self):
+        r = Rect(10, 20, 60, 50)
+        for orient in Orientation:
+            assert xf(orient).apply_rect(r).area == r.area
+
+    def test_bbox_lower_left_is_placement_point(self):
+        for orient in Orientation:
+            t = xf(orient, offset=Point(300, 400))
+            assert t.bbox().xlo == 300
+            assert t.bbox().ylo == 400
+
+    def test_double_mirror_is_identity(self):
+        t = xf(Orientation.MX)
+        p = Point(30, 40)
+        assert t.apply_point(t.apply_point(p)) == p

@@ -1,0 +1,125 @@
+"""End-to-end integration tests reproducing the paper's claims in miniature."""
+
+import pytest
+
+from repro import (
+    LegacyPinAccess,
+    PaafConfig,
+    PinAccessFramework,
+    build_testcase,
+    evaluate_failed_pins,
+    parse_def,
+    parse_lef,
+    write_def,
+    write_lef,
+)
+
+
+@pytest.fixture(scope="module")
+def test1():
+    return build_testcase("ispd18_test1", scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def test4():
+    return build_testcase("ispd18_test4", scale=0.005)
+
+
+class TestExperiment1Shape:
+    """Table II: PAAF generates more APs, zero dirty, vs the baseline."""
+
+    def test_paaf_zero_dirty(self, test1):
+        result = PinAccessFramework(test1).run_step1()
+        assert result.count_dirty_aps() == 0
+
+    def test_baseline_nonzero_dirty(self, test1):
+        result = LegacyPinAccess(test1).run()
+        assert result.count_dirty_aps() > 0
+
+    def test_paaf_more_aps(self, test1):
+        paaf = PinAccessFramework(test1).run_step1()
+        base = LegacyPinAccess(test1).run()
+        assert paaf.total_access_points > base.total_access_points
+
+
+class TestExperiment2Shape:
+    """Table III: failed pins -- baseline >> w/o BCA >= w/ BCA == 0."""
+
+    def test_bca_zero_failed(self, test1, test4):
+        for design in (test1, test4):
+            result = PinAccessFramework(design).run()
+            assert evaluate_failed_pins(design, result.access_map()) == []
+
+    def test_nobca_between(self, test4):
+        nobca = PinAccessFramework(test4, PaafConfig().without_bca()).run()
+        nobca_failed = evaluate_failed_pins(test4, nobca.access_map())
+        base = LegacyPinAccess(test4)
+        base_failed = evaluate_failed_pins(
+            test4, base.access_map(base.run())
+        )
+        assert len(base_failed) > len(nobca_failed)
+
+    def test_baseline_fails_majority_fraction(self, test4):
+        base = LegacyPinAccess(test4)
+        failed = evaluate_failed_pins(test4, base.access_map(base.run()))
+        total = len(test4.connected_pins())
+        assert len(failed) > 0.3 * total
+
+
+class TestLefDefDrivenFlow:
+    """The whole flow driven from text, as deployed."""
+
+    def test_parse_analyze_matches_in_memory(self, test1):
+        lef = write_lef(test1.tech, list(test1.masters.values()))
+        tech, masters = parse_lef(lef, name=test1.tech.name)
+        design = parse_def(write_def(test1), tech, masters)
+
+        r_mem = PinAccessFramework(test1).run()
+        r_txt = PinAccessFramework(design).run()
+        assert r_txt.total_access_points == r_mem.total_access_points
+        map_mem = {
+            k: (ap.x, ap.y) for k, ap in r_mem.access_map().items()
+        }
+        map_txt = {
+            k: (ap.x, ap.y) for k, ap in r_txt.access_map().items()
+        }
+        assert map_mem == map_txt
+
+
+class TestMacroAccess:
+    def test_macro_pins_get_access(self):
+        design = build_testcase("ispd18_test3", scale=0.01)
+        result = PinAccessFramework(design).run()
+        macro_uas = [
+            ua
+            for ua in result.unique_accesses
+            if ua.unique_instance.representative.master.is_macro
+        ]
+        assert macro_uas
+        for ua in macro_uas:
+            covered = sum(1 for aps in ua.aps_by_pin.values() if aps)
+            assert covered == len(ua.aps_by_pin)
+
+
+class TestAes14Flow:
+    def test_all_pins_clean_at_14nm(self):
+        from repro import build_aes14
+
+        design = build_aes14(scale=0.02)
+        result = PinAccessFramework(design).run()
+        failed = evaluate_failed_pins(design, result.access_map())
+        assert failed == []
+
+    def test_off_track_access_used_at_14nm(self):
+        from repro import build_aes14
+        from repro.core.coords import CoordType
+
+        design = build_aes14(scale=0.02)
+        result = PinAccessFramework(design).run()
+        off_track = [
+            ap
+            for ap in result.access_map().values()
+            if ap.pref_type is not CoordType.ON_TRACK
+            or ap.nonpref_type is not CoordType.ON_TRACK
+        ]
+        assert off_track  # Figure 9's point

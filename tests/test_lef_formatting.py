@@ -1,0 +1,65 @@
+"""LEF writer formatting details and numeric fidelity."""
+
+import pytest
+
+from repro.lefdef import parse_lef, write_lef
+from repro.lefdef.lef_writer import _fmt
+from repro.tech import make_node
+
+
+class TestFmt:
+    def test_integer_values_have_no_decimal_noise(self):
+        assert _fmt(1.0) == "1"
+        assert _fmt(0.0) == "0"
+
+    def test_trailing_zeros_stripped(self):
+        assert _fmt(0.070000) == "0.07"
+        assert _fmt(0.105) == "0.105"
+
+    def test_tiny_values(self):
+        assert _fmt(0.000001) == "0.000001"
+
+    def test_negative(self):
+        assert _fmt(-0.07) == "-0.07"
+
+
+class TestNumericFidelity:
+    @pytest.mark.parametrize("node", ["N45", "N32", "N14"])
+    def test_all_dimensions_roundtrip_exactly(self, node):
+        tech = make_node(node)
+        tech2, _ = parse_lef(write_lef(tech), name=node)
+        for orig, back in zip(tech.layers, tech2.layers):
+            if orig.is_routing:
+                assert back.pitch == orig.pitch
+                assert back.width == orig.width
+                assert back.min_area == orig.min_area
+        for orig, back in zip(tech.vias, tech2.vias):
+            assert back.bottom_enc == orig.bottom_enc
+
+
+class TestTextStructure:
+    def test_sections_in_order(self, n45):
+        text = write_lef(n45)
+        assert text.index("UNITS") < text.index("SITE")
+        assert text.index("SITE") < text.index("LAYER M1")
+        assert text.index("LAYER M1") < text.index("VIA V12_P")
+        assert text.rstrip().endswith("END LIBRARY")
+
+    def test_every_layer_has_end(self, n45):
+        text = write_lef(n45)
+        for layer in n45.layers:
+            assert f"END {layer.name}" in text
+
+    def test_statements_terminated(self, n45):
+        # Spacing-table WIDTH rows are intentionally unterminated (only
+        # the final row carries the ';' in LEF syntax); scalar
+        # statements all terminate.
+        text = write_lef(n45)
+        for line in text.splitlines():
+            stripped = line.strip()
+            tokens = stripped.split()
+            if (
+                stripped.startswith(("PITCH", "SPACING ", "AREA"))
+                or (stripped.startswith("WIDTH") and len(tokens) <= 3)
+            ):
+                assert stripped.endswith(";"), stripped

@@ -1,0 +1,154 @@
+"""Unit tests for LEF/DEF writing and parsing."""
+
+import pytest
+
+from repro.bench import build_testcase
+from repro.lefdef import parse_def, parse_lef, write_def, write_lef
+from repro.lefdef.def_parser import DefParseError
+from repro.lefdef.lef_parser import LefParseError
+
+from tests.conftest import make_simple_design, make_simple_master
+
+
+@pytest.fixture(scope="module")
+def suite_design():
+    return build_testcase("ispd18_test1", scale=0.005)
+
+
+class TestLefRoundtrip:
+    def test_technology_scalars(self, n45):
+        tech2, _ = parse_lef(write_lef(n45), name="N45")
+        assert tech2.dbu_per_micron == n45.dbu_per_micron
+        assert tech2.site_width == n45.site_width
+        assert tech2.site_height == n45.site_height
+        assert tech2.manufacturing_grid == n45.manufacturing_grid
+
+    def test_layers_roundtrip(self, n45):
+        tech2, _ = parse_lef(write_lef(n45), name="N45")
+        assert [l.name for l in tech2.layers] == [l.name for l in n45.layers]
+        for orig, back in zip(n45.layers, tech2.layers):
+            assert back.kind == orig.kind
+            if orig.is_routing:
+                assert back.direction == orig.direction
+                assert back.pitch == orig.pitch
+                assert back.width == orig.width
+                assert back.offset == orig.offset
+                assert back.eol == orig.eol
+                assert back.min_step == orig.min_step
+                assert back.min_area == orig.min_area
+                assert (
+                    back.spacing_table.prl_values
+                    == orig.spacing_table.prl_values
+                )
+                assert (
+                    back.spacing_table.width_rows
+                    == orig.spacing_table.width_rows
+                )
+            else:
+                assert back.cut_spacing == orig.cut_spacing
+
+    def test_vias_roundtrip(self, n45):
+        tech2, _ = parse_lef(write_lef(n45), name="N45")
+        assert [v.name for v in tech2.vias] == [v.name for v in n45.vias]
+        for orig, back in zip(n45.vias, tech2.vias):
+            assert back.bottom_enc == orig.bottom_enc
+            assert back.cut == orig.cut
+            assert back.top_enc == orig.top_enc
+
+    def test_masters_roundtrip(self, n45):
+        master = make_simple_master()
+        _, masters = parse_lef(write_lef(n45, [master]), name="N45")
+        assert len(masters) == 1
+        back = masters[0]
+        assert back.name == master.name
+        assert (back.width, back.height) == (master.width, master.height)
+        assert [p.name for p in back.pins] == [p.name for p in master.pins]
+        for orig_pin, back_pin in zip(master.pins, back.pins):
+            assert back_pin.use == orig_pin.use
+            assert back_pin.shapes == orig_pin.shapes
+
+    def test_macro_class_roundtrip(self, n45, suite_design):
+        masters = list(suite_design.masters.values())
+        _, back = parse_lef(write_lef(n45, masters), name="N45")
+        macro_flags = {m.name: m.is_macro for m in back}
+        for master in masters:
+            assert macro_flags[master.name] == master.is_macro
+
+    def test_obstructions_roundtrip(self, n45, suite_design):
+        masters = [
+            m for m in suite_design.masters.values() if m.obstructions
+        ]
+        assert masters, "suite should include an OBS-bearing macro"
+        _, back = parse_lef(write_lef(n45, masters), name="N45")
+        for orig, parsed in zip(masters, back):
+            assert len(parsed.obstructions) == len(orig.obstructions)
+            assert parsed.obstructions[0].rect == orig.obstructions[0].rect
+
+    def test_malformed_lef_raises(self):
+        with pytest.raises(LefParseError):
+            parse_lef("LAYER M1\n TYPE ROUTING ;")  # missing END
+
+
+class TestDefRoundtrip:
+    def roundtrip(self, design):
+        lef = write_lef(design.tech, list(design.masters.values()))
+        tech, masters = parse_lef(lef, name=design.tech.name)
+        return parse_def(write_def(design), tech, masters)
+
+    def test_stats_preserved(self, suite_design):
+        back = self.roundtrip(suite_design)
+        assert back.stats() == suite_design.stats()
+
+    def test_placements_preserved(self, suite_design):
+        back = self.roundtrip(suite_design)
+        for name, inst in suite_design.instances.items():
+            got = back.instance(name)
+            assert got.location == inst.location
+            assert got.orient == inst.orient
+            assert got.master.name == inst.master.name
+
+    def test_tracks_preserved(self, suite_design):
+        back = self.roundtrip(suite_design)
+        assert back.track_patterns == suite_design.track_patterns
+
+    def test_nets_preserved(self, suite_design):
+        back = self.roundtrip(suite_design)
+        assert set(back.nets) == set(suite_design.nets)
+        for name, net in suite_design.nets.items():
+            assert back.nets[name].terms == net.terms
+            assert back.nets[name].io_pins == net.io_pins
+
+    def test_rows_preserved(self, n45):
+        design = make_simple_design(n45)
+        from repro.db.design import Row
+        from repro.geom.point import Point
+        from repro.geom.transform import Orientation
+
+        design.add_row(
+            Row(
+                name="row_0",
+                origin=Point(0, 1400),
+                orient=Orientation.MX,
+                count=50,
+                site_width=140,
+                site_height=1400,
+            )
+        )
+        back = self.roundtrip(design)
+        assert len(back.rows) == 1
+        assert back.rows[0].origin == Point(0, 1400)
+        assert back.rows[0].orient is Orientation.MX
+
+    def test_unknown_master_raises(self, n45, suite_design):
+        def_text = write_def(suite_design)
+        with pytest.raises(DefParseError):
+            parse_def(def_text, n45, [])
+
+    def test_dbu_mismatch_raises(self, suite_design):
+        import dataclasses
+
+        from repro.tech.technology import Technology
+
+        other = Technology(name="x", dbu_per_micron=2000)
+        with pytest.raises(DefParseError):
+            parse_def(write_def(suite_design), other, [])

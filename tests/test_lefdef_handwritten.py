@@ -1,0 +1,209 @@
+"""Parser tests on hand-written LEF/DEF text (not writer output).
+
+The round-trip tests exercise parser-against-writer; these guard the
+parsers against externally-authored formatting: comments, irregular
+whitespace, multiple rects per port, FIXED placements.
+"""
+
+import pytest
+
+from repro.lefdef import parse_def, parse_lef
+from repro.geom.rect import Rect
+from repro.geom.transform import Orientation
+
+HAND_LEF = """
+VERSION 5.8 ;
+BUSBITCHARS "[]" ;
+DIVIDERCHAR "/" ;
+UNITS
+  DATABASE MICRONS 2000 ;
+END UNITS
+MANUFACTURINGGRID 0.005 ;
+
+SITE core
+  CLASS CORE ;
+  SIZE 0.2 BY 1.8 ;
+END core
+
+LAYER metal1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 0.2 ;   # a comment after the statement
+  OFFSET 0.1 ;
+  WIDTH 0.1 ;
+  SPACINGTABLE
+    PARALLELRUNLENGTH 0 0.5
+    WIDTH 0 0.1 0.1
+    WIDTH 0.3 0.1 0.2 ;
+  SPACING 0.12 ENDOFLINE 0.11 WITHIN 0.03 ;
+  MINSTEP 0.05 MAXEDGES 1 ;
+  AREA 0.04 ;
+END metal1
+
+LAYER cut1
+  TYPE CUT ;
+  SPACING 0.1 ;
+END cut1
+
+LAYER metal2
+  TYPE ROUTING ;
+  DIRECTION VERTICAL ;
+  PITCH 0.2 ;
+  OFFSET 0.1 ;
+  WIDTH 0.1 ;
+END metal2
+
+VIA cutvia DEFAULT
+  LAYER metal1 ;
+    RECT -0.1 -0.05 0.1 0.05 ;
+  LAYER cut1 ;
+    RECT -0.05 -0.05 0.05 0.05 ;
+  LAYER metal2 ;
+    RECT -0.05 -0.1 0.05 0.1 ;
+END cutvia
+
+MACRO AND2
+  CLASS CORE ;
+  ORIGIN 0 0 ;
+  SIZE 0.6 BY 1.8 ;
+  SITE core ;
+  PIN A
+    DIRECTION INPUT ;
+    USE SIGNAL ;
+    PORT
+      LAYER metal1 ;
+        RECT 0.1 0.5 0.2 0.9 ;
+        RECT 0.1 0.5 0.35 0.6 ;
+    END
+  END A
+  PIN VDD
+    DIRECTION INOUT ;
+    USE POWER ;
+    PORT
+      LAYER metal1 ;
+        RECT 0 1.7 0.6 1.8 ;
+    END
+  END VDD
+  OBS
+    LAYER metal2 ;
+      RECT 0.2 0.2 0.4 0.4 ;
+  END
+END AND2
+
+END LIBRARY
+"""
+
+HAND_DEF = """
+VERSION 5.8 ;
+DESIGN handmade ;
+UNITS DISTANCE MICRONS 2000 ;
+DIEAREA ( 0 0 ) ( 10000 10000 ) ;
+
+ROW r0 core 0 0 N DO 25 BY 1 STEP 400 0 ;
+
+TRACKS Y 200 DO 25 STEP 400 LAYER metal1 ;
+TRACKS X 200 DO 25 STEP 400 LAYER metal2 ;
+
+COMPONENTS 2 ;
+- u1 AND2 + PLACED ( 400 0 ) N ;
+- u2 AND2 + FIXED ( 2000 0 ) FS ;
+END COMPONENTS
+
+PINS 1 ;
+- clk + NET n1 + DIRECTION INPUT + LAYER metal2 ( 0 0 ) ( 200 200 )
+  + PLACED ( 0 5000 ) N ;
+END PINS
+
+NETS 1 ;
+- n1 ( u1 A ) ( u2 A ) ( PIN clk ) ;
+END NETS
+
+END DESIGN
+"""
+
+
+class TestHandwrittenLef:
+    @pytest.fixture(scope="class")
+    def parsed(self):
+        return parse_lef(HAND_LEF, name="hand")
+
+    def test_units_and_grid(self, parsed):
+        tech, _ = parsed
+        assert tech.dbu_per_micron == 2000
+        assert tech.manufacturing_grid == 10  # 0.005 um at 2000 dbu
+
+    def test_site(self, parsed):
+        tech, _ = parsed
+        assert tech.site_name == "core"
+        assert tech.site_width == 400
+        assert tech.site_height == 3600
+
+    def test_layer_rules(self, parsed):
+        tech, _ = parsed
+        m1 = tech.layer("metal1")
+        assert m1.pitch == 400 and m1.width == 200
+        assert m1.spacing_table.lookup(0, 0) == 200
+        assert m1.spacing_table.lookup(600, 1200) == 400
+        assert m1.eol.eol_space == 240
+        assert m1.eol.eol_width == 220
+        assert m1.min_step.min_step_length == 100
+        assert m1.min_step.max_edges == 1
+        assert m1.min_area.min_area == 160000  # 0.04 um^2 at 2000 dbu
+
+    def test_cut_layer(self, parsed):
+        tech, _ = parsed
+        assert tech.layer("cut1").cut_spacing.spacing == 200
+
+    def test_via(self, parsed):
+        tech, _ = parsed
+        via = tech.via("cutvia")
+        assert via.bottom_enc == Rect(-200, -100, 200, 100)
+        assert via.cut == Rect(-100, -100, 100, 100)
+        assert tech.primary_via_from("metal1").name == "cutvia"
+
+    def test_macro(self, parsed):
+        _, masters = parsed
+        (and2,) = masters
+        assert and2.width == 1200 and and2.height == 3600
+        assert not and2.is_macro
+        a = and2.pin("A")
+        assert len(a.rects_on("metal1")) == 2
+        assert and2.pin("VDD").use.value == "POWER"
+        assert and2.obstructions[0].layer_name == "metal2"
+
+    def test_comment_stripping(self, parsed):
+        tech, _ = parsed
+        # The '# a comment' line must not corrupt PITCH parsing.
+        assert tech.layer("metal1").pitch == 400
+
+
+class TestHandwrittenDef:
+    @pytest.fixture(scope="class")
+    def design(self):
+        tech, masters = parse_lef(HAND_LEF, name="hand")
+        return parse_def(HAND_DEF, tech, masters)
+
+    def test_header(self, design):
+        assert design.name == "handmade"
+        assert design.die_area == Rect(0, 0, 10000, 10000)
+
+    def test_row(self, design):
+        (row,) = design.rows
+        assert row.count == 25 and row.site_width == 400
+
+    def test_components_placed_and_fixed(self, design):
+        assert design.instance("u1").orient is Orientation.R0
+        u2 = design.instance("u2")
+        assert u2.orient is Orientation.MX
+        assert u2.location.x == 2000
+
+    def test_tracks(self, design):
+        assert len(design.track_patterns) == 2
+        m1_tracks = design.track_patterns_on("metal1")[0]
+        assert m1_tracks.start == 200 and m1_tracks.step == 400
+
+    def test_io_pin_and_net(self, design):
+        assert design.io_pins["clk"].rect == Rect(0, 0, 200, 200)
+        net = design.nets["n1"]
+        assert net.terms == [("u1", "A"), ("u2", "A")]
+        assert net.io_pins == ["clk"]

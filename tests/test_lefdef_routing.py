@@ -1,0 +1,78 @@
+"""Tests for routed-DEF writing and parsing."""
+
+import pytest
+
+from repro.bench import build_testcase
+from repro.core import PinAccessFramework
+from repro.lefdef import (
+    parse_lef,
+    parse_routed_def,
+    write_lef,
+    write_routed_def,
+)
+from repro.route import DetailedRouter, count_route_drcs
+
+
+@pytest.fixture(scope="module")
+def routed():
+    design = build_testcase("ispd18_test1", scale=0.005)
+    access = PinAccessFramework(design).run().access_map()
+    result = DetailedRouter(design).route(access)
+    return design, result
+
+
+class TestWrite:
+    def test_routed_clause_emitted(self, routed):
+        design, result = routed
+        text = write_routed_def(design, result)
+        assert "+ ROUTED" in text
+        assert "NEW " in text
+        assert "V12_P" in text or "V12_S" in text
+
+    def test_every_routed_net_has_clause(self, routed):
+        design, result = routed
+        text = write_routed_def(design, result)
+        nets_with_wires = {net for net, _, _ in result.wires}
+        for net_name in nets_with_wires:
+            start = text.index(f"- {net_name} ")
+            end = text.index(";", start)
+            assert "+ ROUTED" in text[start:end], net_name
+
+    def test_statement_terminators_preserved(self, routed):
+        design, result = routed
+        text = write_routed_def(design, result)
+        # The NETS section still has one ';' per net statement.
+        nets_section = text[text.index("NETS ") : text.index("END NETS")]
+        assert nets_section.count(";") == len(design.nets) + 1
+
+
+class TestRoundtrip:
+    def roundtrip(self, design, result):
+        lef = write_lef(design.tech, list(design.masters.values()))
+        tech, masters = parse_lef(lef, name=design.tech.name)
+        text = write_routed_def(design, result)
+        return parse_routed_def(text, tech, masters)
+
+    def test_connectivity_survives(self, routed):
+        design, result = routed
+        back_design, _ = self.roundtrip(design, result)
+        assert back_design.stats() == design.stats()
+        for name, net in design.nets.items():
+            assert back_design.nets[name].terms == net.terms
+
+    def test_vias_survive_exactly(self, routed):
+        design, result = routed
+        _, back = self.roundtrip(design, result)
+        assert sorted(back.vias) == sorted(result.vias)
+
+    def test_wires_survive_exactly(self, routed):
+        design, result = routed
+        _, back = self.roundtrip(design, result)
+        assert sorted(back.wires) == sorted(result.wires)
+
+    def test_drc_score_identical(self, routed):
+        design, result = routed
+        back_design, back = self.roundtrip(design, result)
+        original = count_route_drcs(design, result, scope="pin-access")
+        reparsed = count_route_drcs(back_design, back, scope="pin-access")
+        assert len(original) == len(reparsed)

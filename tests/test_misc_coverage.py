@@ -1,0 +1,123 @@
+"""Coverage of smaller behaviors across packages."""
+
+import pytest
+
+from repro.bench import build_testcase
+from repro.core import PinAccessFramework, evaluate_failed_pins
+from repro.core.cluster import ClusterPatternSelector
+from repro.core.incremental import IncrementalPinAccess
+from repro.drc.engine import DrcEngine
+from repro.drc.violations import Violation
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.lefdef import parse_def, parse_lef, write_def, write_lef
+from repro.lefdef.def_parser import DefParseError
+from repro.viz import render_pin_access
+
+
+class TestInteractionWindow:
+    def test_window_covers_via_reach_plus_rules(self, n45):
+        from tests.conftest import make_simple_design
+
+        design = make_simple_design(n45)
+        selector = ClusterPatternSelector(design, DrcEngine(n45))
+        window = selector._boundary_window
+        via = n45.primary_via_from("M1")
+        assert window >= via.bottom_enc.xhi + n45.layer("M1").min_spacing
+        # Sane upper bound: a few pitches.
+        assert window <= 6 * n45.layer("M1").pitch
+
+
+class TestViolationStr:
+    def test_str_with_objects(self):
+        v = Violation("metal-short", "M1", Rect(0, 0, 5, 5), ("a", "b"))
+        text = str(v)
+        assert "metal-short" in text and "a, b" in text
+
+    def test_str_without_objects(self):
+        v = Violation("min-area", "M2", Rect(0, 0, 5, 5))
+        assert "between" not in str(v)
+
+
+class TestDefParserErrors:
+    def test_truncated_def(self, n45):
+        with pytest.raises(DefParseError):
+            parse_def("DESIGN x ;\nCOMPONENTS 1 ;\n- u1", n45, [])
+
+    def test_component_count_not_enforced_but_masters_are(self, n45):
+        text = (
+            "DESIGN x ;\n"
+            f"UNITS DISTANCE MICRONS {n45.dbu_per_micron} ;\n"
+            "COMPONENTS 1 ;\n"
+            "- u1 GHOST + PLACED ( 0 0 ) N ;\n"
+            "END COMPONENTS\n"
+            "END DESIGN\n"
+        )
+        with pytest.raises(DefParseError):
+            parse_def(text, n45, [])
+
+
+class TestMultiHeightIntegrations:
+    @pytest.fixture(scope="class")
+    def mh_design(self):
+        return build_testcase(
+            "ispd18_test1", scale=0.008, multi_height_fraction=0.1
+        )
+
+    def test_incremental_on_multiheight_design(self, mh_design):
+        inc = IncrementalPinAccess(mh_design)
+        inc.analyze()
+        # Move a single-height singleton; the analysis stays clean.
+        single = next(
+            cluster[0]
+            for cluster in mh_design.row_clusters()
+            if len(cluster) == 1
+            and cluster[0].master.height == mh_design.tech.site_height
+        )
+        target = Point(
+            single.location.x + 8 * mh_design.tech.site_width,
+            single.location.y,
+        )
+        blocked = any(
+            other.name != single.name
+            and Rect(
+                target.x,
+                target.y,
+                target.x + single.bbox.width,
+                target.y + single.bbox.height,
+            ).overlaps(other.bbox)
+            for other in mh_design.instances.values()
+        )
+        if not blocked:
+            inc.move_instance(single.name, target)
+            assert (
+                evaluate_failed_pins(mh_design, inc.access_map()) == []
+            )
+
+    def test_viz_renders_multiheight(self, mh_design):
+        result = PinAccessFramework(mh_design).run()
+        svg = render_pin_access(mh_design, result.access_map())
+        assert svg.count("<rect") > 20
+        assert "_2H" in svg  # double-height master named in titles
+
+    def test_lefdef_roundtrip_multiheight(self, mh_design):
+        lef = write_lef(
+            mh_design.tech, list(mh_design.masters.values())
+        )
+        tech, masters = parse_lef(lef, name=mh_design.tech.name)
+        back = parse_def(write_def(mh_design), tech, masters)
+        assert back.stats() == mh_design.stats()
+        doubles = [
+            m for m in back.masters.values() if m.name.endswith("_2H")
+        ]
+        assert doubles
+        assert all(m.height == 2 * tech.site_height for m in doubles)
+
+
+class TestScaleMonotonicity:
+    def test_counts_scale_proportionally(self):
+        small = build_testcase("ispd18_test1", scale=0.004)
+        large = build_testcase("ispd18_test1", scale=0.008)
+        assert large.stats()["num_std_cells"] == round(8879 * 0.008)
+        assert small.stats()["num_std_cells"] == round(8879 * 0.004)
+        assert large.die_area.area > small.die_area.area

@@ -1,0 +1,126 @@
+"""Tests for multi-height cell support (paper future-work item i)."""
+
+import pytest
+
+from repro.bench import build_testcase
+from repro.bench.stdcells import build_library
+from repro.core import PinAccessFramework, evaluate_failed_pins
+
+
+@pytest.fixture(scope="module")
+def mh_design():
+    return build_testcase(
+        "ispd18_test1", scale=0.01, multi_height_fraction=0.08
+    )
+
+
+class TestLibrary:
+    def test_double_height_masters_generated(self, n45):
+        lib = build_library(n45, multi_height=True)
+        doubles = [m for m in lib.masters if m.name.endswith("_2H")]
+        assert len(doubles) == 3
+        for master in doubles:
+            assert master.height == 2 * n45.site_height
+
+    def test_rail_structure_vss_vdd_vss(self, n45):
+        lib = build_library(n45, multi_height=True)
+        master = lib.master("DFFH_2H")
+        vss = master.pin("VSS").rects_on("M1")
+        vdd = master.pin("VDD").rects_on("M1")
+        assert len(vss) == 2  # bottom and top
+        assert len(vdd) == 1  # middle
+        assert vdd[0].center.y == n45.site_height
+
+    def test_pins_clear_of_mid_rail(self, n45):
+        lib = build_library(n45, multi_height=True)
+        mid = n45.site_height
+        w = n45.layer("M1").width
+        for name in ("DFFH_2H", "SDFFH_2H", "BUFH_2H"):
+            for pin in lib.master(name).signal_pins():
+                for rect in pin.rects_on("M1"):
+                    # No overlap with the mid rail band.
+                    assert rect.yhi <= mid - w or rect.ylo >= mid + w
+
+    def test_default_library_has_no_doubles(self, n45):
+        lib = build_library(n45)
+        assert not any(m.name.endswith("_2H") for m in lib.masters)
+
+
+class TestPlacement:
+    def test_doubles_present_and_on_even_rows(self, mh_design):
+        site_h = mh_design.tech.site_height
+        base = mh_design.core_origin.y
+        doubles = [
+            i
+            for i in mh_design.instances.values()
+            if i.master.height > site_h
+        ]
+        assert doubles
+        for inst in doubles:
+            row = (inst.location.y - base) // site_h
+            assert row % 2 == 0
+
+    def test_no_overlap_with_upper_row_neighbors(self, mh_design):
+        doubles = [
+            i
+            for i in mh_design.instances.values()
+            if i.master.height > mh_design.tech.site_height
+        ]
+        for double in doubles:
+            for other in mh_design.instances.values():
+                if other.name == double.name:
+                    continue
+                assert not double.bbox.overlaps(other.bbox), (
+                    double.name,
+                    other.name,
+                )
+
+
+class TestClustering:
+    def test_double_in_two_clusters(self, mh_design):
+        doubles = {
+            i.name
+            for i in mh_design.instances.values()
+            if i.master.height > mh_design.tech.site_height
+        }
+        membership = {}
+        for cluster in mh_design.row_clusters():
+            for inst in cluster:
+                membership.setdefault(inst.name, 0)
+                membership[inst.name] += 1
+        for name in doubles:
+            assert membership[name] == 2
+
+    def test_singles_in_one_cluster(self, mh_design):
+        site_h = mh_design.tech.site_height
+        singles = {
+            i.name
+            for i in mh_design.instances.values()
+            if i.master.height == site_h
+        }
+        membership = {}
+        for cluster in mh_design.row_clusters():
+            for inst in cluster:
+                membership[inst.name] = membership.get(inst.name, 0) + 1
+        for name in singles:
+            assert membership[name] == 1
+
+
+class TestFlow:
+    def test_full_flow_clean(self, mh_design):
+        result = PinAccessFramework(mh_design).run()
+        assert result.count_dirty_aps() == 0
+        assert evaluate_failed_pins(mh_design, result.access_map()) == []
+
+    def test_selection_consistent_across_clusters(self, mh_design):
+        result = PinAccessFramework(mh_design).run()
+        # Each instance has exactly one selection, even those visited
+        # by two clusters.
+        assert set(result.selection.selection) == set(mh_design.instances)
+
+    def test_misaligned_mh_flow_clean(self):
+        design = build_testcase(
+            "ispd18_test4", scale=0.005, multi_height_fraction=0.1
+        )
+        result = PinAccessFramework(design).run()
+        assert evaluate_failed_pins(design, result.access_map()) == []

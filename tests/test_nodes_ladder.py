@@ -1,0 +1,75 @@
+"""Cross-node tests: the Figure 3 ladder behaves at every node preset.
+
+The coordinate-type ladder's justification is Figure 3: on-track and
+half-track enclosure drops can min-step-violate while shape-center and
+enclosure-boundary drops are clean.  These tests verify the underlying
+DRC behavior -- and the full flow -- at 45, 32 and 14 nm.
+"""
+
+import pytest
+
+from repro.bench import build_testcase
+from repro.bench.ispd18 import TestcaseSpec as CaseSpec
+from repro.core import PinAccessFramework, evaluate_failed_pins
+from repro.drc import DrcEngine, ShapeContext
+from repro.geom.rect import Rect
+from repro.tech import make_node
+
+NODES = ("N45", "N32", "N14")
+
+
+@pytest.mark.parametrize("node", NODES)
+class TestFigure3Ladder:
+    def setup_case(self, node):
+        tech = make_node(node)
+        engine = DrcEngine(tech)
+        via = tech.primary_via_from("M1")
+        w = tech.layer("M1").width
+        # A pin bar taller than the enclosure but less than twice.
+        enc_h = via.bottom_enc.height
+        pin = Rect(0, 0, 12 * w, enc_h + w)
+        ctx = ShapeContext(bucket=10 * w)
+        ctx.add("M1", pin, "net")
+        return tech, engine, via, pin, ctx
+
+    def test_partial_protrusion_dirty(self, node):
+        tech, engine, via, pin, ctx = self.setup_case(node)
+        x = pin.center.x
+        # Hang the enclosure a few nm over the top edge.
+        y = pin.yhi - via.bottom_enc.yhi + tech.manufacturing_grid * 5
+        violations = engine.check_via_placement(via, x, y, "net", ctx)
+        assert any(v.rule == "min-step" for v in violations), node
+
+    def test_shape_center_clean(self, node):
+        tech, engine, via, pin, ctx = self.setup_case(node)
+        center = pin.center
+        assert (
+            engine.check_via_placement(via, center.x, center.y, "net", ctx)
+            == []
+        ), node
+
+    def test_enclosure_boundary_clean(self, node):
+        tech, engine, via, pin, ctx = self.setup_case(node)
+        x = pin.center.x
+        y = pin.ylo - via.bottom_enc.ylo  # flush with the bottom edge
+        assert engine.check_via_placement(via, x, y, "net", ctx) == [], node
+
+
+@pytest.mark.parametrize("node", NODES)
+def test_full_flow_clean_at_every_node(node):
+    spec = CaseSpec(
+        name=f"mini_{node}",
+        node=node,
+        std_cells=4000,
+        macros=0,
+        nets=4000,
+        io_pins=0,
+        die_w_mm=0.02,
+        die_h_mm=0.02,
+        misaligned_tracks=(node != "N45"),
+        seed=99,
+    )
+    design = build_testcase(spec, scale=0.01)
+    result = PinAccessFramework(design).run()
+    assert result.count_dirty_aps() == 0
+    assert evaluate_failed_pins(design, result.access_map()) == []

@@ -1,0 +1,59 @@
+"""Unit tests for the table renderers."""
+
+from repro.bench import build_testcase
+from repro.report import (
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_row,
+    table2_row,
+    table3_row,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["xxx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows equal width.
+        assert len(set(map(len, lines))) == 1
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+
+class TestRows:
+    def test_table1_row(self):
+        design = build_testcase("ispd18_test1", scale=0.005)
+        row = table1_row(design)
+        assert row[0] == "ispd18_test1"
+        assert row[1] == design.stats()["num_std_cells"]
+        assert row[-1] == "N45"
+
+    def test_table2_row_formats_times(self):
+        row = table2_row("t", 10, 100, 120, 5, 0, 1.234, 0.5678)
+        assert row[-2] == "1.23"
+        assert row[-1] == "0.57"
+
+    def test_table3_row(self):
+        row = table3_row("t", 1000, 50, 3, 0, 1.0, 2.0, 3.0)
+        assert row[:5] == ["t", 1000, 50, 3, 0]
+
+
+class TestRender:
+    def test_render_table1(self):
+        design = build_testcase("ispd18_test1", scale=0.005)
+        text = render_table1([design])
+        assert "ispd18_test1" in text
+        assert "Table I" in text
+
+    def test_render_table2(self):
+        text = render_table2([table2_row("t", 1, 2, 3, 4, 0, 0.1, 0.2)])
+        assert "PAAF #APs" in text
+
+    def test_render_table3(self):
+        text = render_table3([table3_row("t", 10, 5, 1, 0, 1, 2, 3)])
+        assert "w/ BCA" in text

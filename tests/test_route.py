@@ -1,0 +1,158 @@
+"""Unit and integration tests for the routing substrate."""
+
+import pytest
+
+from repro.bench import build_testcase
+from repro.core import PinAccessFramework
+from repro.route.astar import astar_route
+from repro.route.drcu import drcu_access_map
+from repro.route.grid import RoutingGrid
+from repro.route.router import DetailedRouter, count_route_drcs
+
+from tests.conftest import make_simple_design
+
+
+@pytest.fixture(scope="module")
+def routed_env():
+    design = build_testcase("ispd18_test1", scale=0.005)
+    access = PinAccessFramework(design).run().access_map()
+    return design, access
+
+
+@pytest.fixture
+def grid(n45):
+    design = make_simple_design(n45, num_instances=2)
+    return RoutingGrid(design)
+
+
+class TestRoutingGrid:
+    def test_layers_default_m2_up(self, grid):
+        assert [l.name for l in grid.layers] == ["M2", "M3", "M4", "M5", "M6"]
+        assert grid.level_of("M3") == 1
+
+    def test_coordinates_from_tracks(self, grid):
+        assert grid.xs[0] == 70
+        assert all(b - a == 140 for a, b in zip(grid.xs, grid.xs[1:]))
+
+    def test_nearest_index(self, grid):
+        i, j = grid.nearest_index(75, 140)
+        assert grid.xs[i] == 70
+        assert grid.ys[j] in (70, 210)
+
+    def test_neighbors_follow_direction(self, grid):
+        # M2 (level 0) is vertical: wire moves change j.
+        node = (0, 5, 5)
+        wire_moves = [
+            n for n, kind in grid.neighbors(node) if kind == "wire"
+        ]
+        assert all(n[1] == 5 for n in wire_moves)
+        # M3 (level 1) is horizontal: wire moves change i.
+        node = (1, 5, 5)
+        wire_moves = [
+            n for n, kind in grid.neighbors(node) if kind == "wire"
+        ]
+        assert all(n[2] == 5 for n in wire_moves)
+
+    def test_via_moves_present(self, grid):
+        vias = [n for n, kind in grid.neighbors((1, 5, 5)) if kind == "via"]
+        assert {(n[0]) for n in vias} == {0, 2}
+
+    def test_occupancy(self, grid):
+        path = [(0, 5, 5), (0, 5, 6), (1, 5, 6)]
+        grid.occupy_path(path, "netA")
+        assert grid.is_free((0, 5, 5), "netA")
+        assert not grid.is_free((0, 5, 5), "netB")
+        assert grid.is_free((0, 9, 9), "netB")
+
+    def test_via_exclusion_bloats(self, grid):
+        grid.occupy_path([(0, 5, 5), (1, 5, 5)], "netA")
+        assert not grid.via_allowed((0, 6, 6), "netB")
+        assert grid.via_allowed((0, 8, 8), "netB")
+
+
+class TestAstar:
+    def test_straight_route(self, grid):
+        path = astar_route(grid, {(0, 5, 2)}, {(0, 5, 8)}, "n")
+        assert path is not None
+        assert path[0] == (0, 5, 2) and path[-1] == (0, 5, 8)
+        assert len(path) == 7
+
+    def test_bend_needs_layer_change(self, grid):
+        path = astar_route(grid, {(0, 2, 2)}, {(0, 8, 2)}, "n")
+        assert path is not None
+        # Moving in x requires visiting a horizontal layer.
+        assert any(node[0] == 1 for node in path)
+
+    def test_blocked_path_detours(self, grid):
+        # Wall across M2 column 5 except far above.
+        for j in range(0, 15):
+            grid.occupancy[(1, 5, j)] = "wall"
+            grid.occupancy[(0, 5, j)] = "wall"
+        path = astar_route(grid, {(0, 2, 2)}, {(0, 8, 2)}, "n")
+        assert path is not None
+        assert all(grid.is_free(n, "n") for n in path)
+
+    def test_unreachable_returns_none(self, grid):
+        # Enclose the target completely on all layers.
+        target = (0, 5, 5)
+        for l in range(grid.num_layers):
+            for di in (-1, 0, 1):
+                for dj in (-1, 0, 1):
+                    if (di, dj) != (0, 0):
+                        grid.occupancy[(l, 5 + di, 5 + dj)] = "wall"
+            grid.occupancy[(l, 5, 5)] = "n" if l == 0 else "wall"
+        path = astar_route(grid, {(0, 2, 2)}, {target}, "n")
+        assert path is None
+
+    def test_bounds_respected(self, grid):
+        path = astar_route(
+            grid, {(0, 5, 2)}, {(0, 5, 8)}, "n", bounds=(5, 2, 5, 8)
+        )
+        assert path is not None
+        assert all(5 == n[1] for n in path)
+
+
+class TestRouter:
+    def test_routes_most_nets(self, routed_env):
+        design, access = routed_env
+        result = DetailedRouter(design).route(access)
+        assert result.routed_nets > 0.8 * len(design.nets)
+        assert result.unconnected_terms == 0
+        assert result.total_wirelength > 0
+
+    def test_emits_pin_vias(self, routed_env):
+        design, access = routed_env
+        result = DetailedRouter(design).route(access)
+        pin_vias = [v for v in result.vias if v[1].startswith("V12")]
+        assert pin_vias
+
+    def test_max_nets_limits_work(self, routed_env):
+        design, access = routed_env
+        result = DetailedRouter(design).route(access, max_nets=5)
+        routed_net_names = {w[0] for w in result.wires}
+        assert len(routed_net_names) <= 5
+
+
+class TestExperiment3Shape:
+    def test_pao_beats_drcu_by_an_order_of_magnitude(self, routed_env):
+        design, access = routed_env
+        pao = DetailedRouter(design).route(access)
+        pao_drcs = count_route_drcs(design, pao, scope="pin-access")
+
+        drcu = DetailedRouter(design).route(drcu_access_map(design))
+        drcu_drcs = count_route_drcs(design, drcu, scope="pin-access")
+
+        assert len(drcu_drcs) >= 10 * max(1, len(pao_drcs))
+
+    def test_full_scope_superset(self, routed_env):
+        design, access = routed_env
+        result = DetailedRouter(design).route(access)
+        pin = count_route_drcs(design, result, scope="pin-access")
+        full = count_route_drcs(design, result, scope="full")
+        assert len(full) >= len(pin)
+
+    def test_bad_scope_rejected(self, routed_env):
+        design, access = routed_env
+        result = DetailedRouter(design).route(access, max_nets=1)
+        with pytest.raises(ValueError):
+            count_route_drcs(design, result, scope="everything")

@@ -1,0 +1,107 @@
+"""Tests for routed min-area accounting and repair."""
+
+import pytest
+
+from repro.bench import build_testcase
+from repro.core import PaafConfig, PinAccessFramework
+from repro.route import DetailedRouter, count_route_drcs
+from repro.route.router import net_layer_components
+
+
+@pytest.fixture(scope="module")
+def env():
+    design = build_testcase("ispd18_test1", scale=0.005)
+    access = PinAccessFramework(design).run().access_map()
+    return design, access
+
+
+class TestComponents:
+    def test_pin_layer_excluded(self, env):
+        design, access = env
+        result = DetailedRouter(design).route(access)
+        layers = {layer for _, layer, _ in net_layer_components(design, result)}
+        assert "M1" not in layers
+        assert "M2" in layers
+
+    def test_components_are_single_net(self, env):
+        design, access = env
+        result = DetailedRouter(design).route(access)
+        for net_name, _, members in net_layer_components(design, result):
+            for wire, _ in members:
+                if wire is not None:
+                    assert wire[0] == net_name
+
+    def test_members_connected(self, env):
+        design, access = env
+        result = DetailedRouter(design).route(access)
+        for _, _, members in net_layer_components(design, result):
+            if len(members) == 1:
+                continue
+            # Every member touches at least one other member.
+            for k, (_, rect) in enumerate(members):
+                assert any(
+                    rect.intersects(other)
+                    for j, (_, other) in enumerate(members)
+                    if j != k
+                )
+
+
+class TestRepair:
+    def test_repair_reduces_min_area_violations(self, env):
+        design, access = env
+        plain = DetailedRouter(design).route(access, repair_min_area=False)
+        repaired = DetailedRouter(design).route(access, repair_min_area=True)
+        before = [
+            v
+            for v in count_route_drcs(design, plain, scope="full")
+            if v.rule == "min-area"
+        ]
+        after = [
+            v
+            for v in count_route_drcs(design, repaired, scope="full")
+            if v.rule == "min-area"
+        ]
+        assert len(before) > 0
+        assert len(after) < len(before) / 2
+
+    def test_repair_keeps_pin_access_clean(self, env):
+        design, access = env
+        repaired = DetailedRouter(design).route(access, repair_min_area=True)
+        assert count_route_drcs(design, repaired, scope="pin-access") == []
+
+
+class TestStrictViaInPin:
+    def test_strict_mode_prunes_aps(self):
+        design = build_testcase("ispd18_test1", scale=0.005)
+        normal = PinAccessFramework(design).run_step1()
+        strict = PinAccessFramework(
+            design, PaafConfig(require_cut_on_pin=True)
+        ).run_step1()
+        assert strict.total_access_points < normal.total_access_points
+
+    def test_strict_cuts_land_on_pin(self):
+        from repro.geom.polygon import RectilinearPolygon
+
+        design = build_testcase("ispd18_test1", scale=0.005)
+        strict = PinAccessFramework(
+            design, PaafConfig(require_cut_on_pin=True)
+        ).run_step1()
+        for ua in strict.unique_accesses:
+            rep = ua.unique_instance.representative
+            for pin_name, aps in ua.aps_by_pin.items():
+                shapes = rep.pin_rects(pin_name)
+                for ap in aps:
+                    if not ap.has_via_access:
+                        continue
+                    polygon = RectilinearPolygon(shapes[ap.layer_name])
+                    via = design.tech.via(ap.primary_via)
+                    assert polygon.contains_rect(via.cut_at(ap.x, ap.y))
+
+    def test_strict_mode_still_zero_failed(self):
+        from repro.core import evaluate_failed_pins
+
+        design = build_testcase("ispd18_test1", scale=0.005)
+        result = PinAccessFramework(
+            design, PaafConfig(require_cut_on_pin=True)
+        ).run()
+        assert evaluate_failed_pins(design, result.access_map()) == []

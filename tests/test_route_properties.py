@@ -1,0 +1,76 @@
+"""Properties of the routing substrate: geometry and cost invariants."""
+
+import pytest
+
+from repro.route.astar import WIRE_COST, VIA_COST, astar_route
+from repro.route.grid import RoutingGrid, _nearest
+
+from tests.conftest import make_simple_design
+
+
+@pytest.fixture
+def grid(n45):
+    return RoutingGrid(make_simple_design(n45, num_instances=2))
+
+
+class TestNearest:
+    def test_exact_hit(self):
+        assert _nearest([0, 10, 20], 10) == 1
+
+    def test_midpoint_prefers_lower(self):
+        # Tie at exactly halfway: the lower index wins (deterministic).
+        assert _nearest([0, 10], 5) == 0
+
+    def test_clamping(self):
+        assert _nearest([0, 10, 20], -100) == 0
+        assert _nearest([0, 10, 20], 100) == 2
+
+
+class TestPathInvariants:
+    def path(self, grid, a, b):
+        return astar_route(grid, {a}, {b}, "n")
+
+    def test_path_is_connected_neighbor_chain(self, grid):
+        path = self.path(grid, (0, 2, 2), (2, 8, 9))
+        assert path is not None
+        for a, b in zip(path, path[1:]):
+            diffs = [abs(x - y) for x, y in zip(a, b)]
+            assert sum(diffs) == 1  # exactly one coordinate by one step
+            neighbors = [n for n, _ in grid.neighbors(a)]
+            assert b in neighbors
+
+    def test_path_has_no_repeats(self, grid):
+        path = self.path(grid, (0, 2, 2), (1, 9, 3))
+        assert len(set(path)) == len(path)
+
+    def test_straight_line_is_optimal(self, grid):
+        path = self.path(grid, (0, 5, 0), (0, 5, 9))
+        assert len(path) == 10  # no detour on a free grid
+
+    def test_obstacles_never_on_path(self, grid):
+        for j in range(3, 8):
+            grid.occupancy[(0, 5, j)] = "wall"
+            grid.occupancy[(1, 5, j)] = "wall"
+        path = self.path(grid, (0, 5, 0), (0, 5, 9))
+        assert path is not None
+        for node in path:
+            assert grid.occupancy.get(node) in (None, "n")
+
+    def test_cost_constants_ordering(self):
+        # Vias must cost more than wires or the router zig-zags layers.
+        assert VIA_COST > WIRE_COST
+
+
+class TestSourceTargetSets:
+    def test_multi_source_picks_nearest(self, grid):
+        sources = {(0, 2, 2), (0, 8, 8)}
+        path = astar_route(grid, sources, {(0, 8, 9)}, "n")
+        assert path[0] == (0, 8, 8)
+
+    def test_empty_sets(self, grid):
+        assert astar_route(grid, set(), {(0, 1, 1)}, "n") is None
+        assert astar_route(grid, {(0, 1, 1)}, set(), "n") is None
+
+    def test_source_equals_target(self, grid):
+        path = astar_route(grid, {(0, 3, 3)}, {(0, 3, 3)}, "n")
+        assert path == [(0, 3, 3)]

@@ -1,0 +1,161 @@
+"""Unit tests for layers, vias and the technology container."""
+
+import pytest
+
+from repro.geom.rect import Rect
+from repro.tech.layer import Layer, LayerKind, RoutingDirection
+from repro.tech.rules import SpacingTable
+from repro.tech.technology import Technology
+from repro.tech.via import ViaDef
+
+
+class TestLayer:
+    def test_kind_predicates(self):
+        routing = Layer(name="M1", kind=LayerKind.ROUTING)
+        cut = Layer(name="V12", kind=LayerKind.CUT)
+        assert routing.is_routing and not routing.is_cut
+        assert cut.is_cut and not cut.is_routing
+
+    def test_direction_predicates(self):
+        layer = Layer(
+            name="M1",
+            kind=LayerKind.ROUTING,
+            direction=RoutingDirection.HORIZONTAL,
+        )
+        assert layer.is_horizontal and not layer.is_vertical
+        assert layer.direction.other is RoutingDirection.VERTICAL
+
+    def test_min_spacing_defaults_zero(self):
+        assert Layer(name="M1", kind=LayerKind.ROUTING).min_spacing == 0
+
+    def test_min_spacing_from_table(self):
+        layer = Layer(
+            name="M1",
+            kind=LayerKind.ROUTING,
+            spacing_table=SpacingTable.simple(70),
+        )
+        assert layer.min_spacing == 70
+
+    def test_max_rule_distance_considers_all_rules(self, n45):
+        m1 = n45.layer("M1")
+        assert m1.max_rule_distance >= m1.spacing_table.max_spacing
+        assert m1.max_rule_distance >= m1.eol.eol_space + m1.eol.eol_within
+
+
+class TestViaDef:
+    def test_enclosures_must_contain_cut(self):
+        cut = Rect(-35, -35, 35, 35)
+        with pytest.raises(ValueError):
+            ViaDef(
+                name="bad",
+                bottom_layer="M1",
+                cut_layer="V12",
+                top_layer="M2",
+                bottom_enc=Rect(-10, -10, 10, 10),
+                cut=cut,
+                top_enc=cut,
+            )
+
+    def test_symmetric_constructor(self):
+        via = ViaDef.symmetric(
+            "v", "M1", "V12", "M2",
+            cut_size=70,
+            bottom_overhang_x=35, bottom_overhang_y=0,
+            top_overhang_x=0, top_overhang_y=35,
+        )
+        assert via.bottom_enc == Rect(-70, -35, 70, 35)
+        assert via.top_enc == Rect(-35, -70, 35, 70)
+        assert via.cut.width == 70
+
+    def test_placement_helpers(self):
+        via = ViaDef.symmetric(
+            "v", "M1", "V12", "M2", 70, 35, 0, 0, 35
+        )
+        assert via.bottom_at(100, 200) == Rect(30, 165, 170, 235)
+        assert via.cut_at(100, 200).center.as_tuple() == (100, 200)
+
+
+class TestTechnology:
+    def test_layer_lookup(self, n45):
+        assert n45.layer("M1").name == "M1"
+        with pytest.raises(KeyError):
+            n45.layer("M99")
+        assert n45.has_layer("V12") and not n45.has_layer("V99")
+
+    def test_duplicate_layer_rejected(self):
+        tech = Technology(name="t")
+        tech.add_layer(Layer(name="M1", kind=LayerKind.ROUTING))
+        with pytest.raises(ValueError):
+            tech.add_layer(Layer(name="M1", kind=LayerKind.ROUTING))
+
+    def test_via_referencing_unknown_layer_rejected(self):
+        tech = Technology(name="t")
+        with pytest.raises(ValueError):
+            tech.add_via(
+                ViaDef.symmetric("v", "M1", "V12", "M2", 10, 5, 5, 5, 5)
+            )
+
+    def test_stack_navigation(self, n45):
+        m1 = n45.layer("M1")
+        v12 = n45.layer_above(m1)
+        assert v12.name == "V12"
+        assert n45.routing_layer_above(m1).name == "M2"
+        assert n45.layer_below(m1) is None
+        top = n45.layer("M9")
+        assert n45.layer_above(top) is None
+        assert n45.routing_layer_above(top) is None
+
+    def test_primary_via_is_first_registered(self, n45):
+        assert n45.primary_via_from("M1").name == "V12_P"
+        assert [v.name for v in n45.vias_from("M1")] == ["V12_P", "V12_S"]
+
+    def test_primary_via_missing(self, n45):
+        with pytest.raises(KeyError):
+            n45.primary_via_from("M9")
+
+    def test_unit_conversion(self, n45):
+        assert n45.microns(1500) == 1.5
+        assert n45.dbu(1.5) == 1500
+
+    def test_layer_indices_monotonic(self, n45):
+        indices = [l.index for l in n45.layers]
+        assert indices == sorted(indices)
+        assert indices[0] == 0
+
+
+class TestNodePresets:
+    @pytest.mark.parametrize("node", ["N45", "N32", "N14"])
+    def test_nine_routing_layers(self, node):
+        from repro.tech.nodes import make_node
+
+        tech = make_node(node)
+        assert len(tech.routing_layers()) == 9
+        assert len(tech.cut_layers()) == 8
+        assert len(tech.vias) == 16  # two variants per cut layer
+
+    def test_unknown_node(self):
+        from repro.tech.nodes import make_node
+
+        with pytest.raises(ValueError):
+            make_node("N7")
+
+    def test_alternating_directions(self, n45):
+        dirs = [l.direction for l in n45.routing_layers()]
+        for a, b in zip(dirs, dirs[1:]):
+            assert a is not b
+
+    def test_m1_horizontal(self, n45, n32, n14):
+        for tech in (n45, n32, n14):
+            assert tech.layer("M1").is_horizontal
+
+    def test_dimension_ordering_across_nodes(self, n45, n32, n14):
+        # Finer nodes have smaller pitch and width.
+        assert n45.layer("M1").pitch > n32.layer("M1").pitch > n14.layer("M1").pitch
+        assert n45.layer("M1").width > n32.layer("M1").width > n14.layer("M1").width
+
+    def test_site_height_is_track_multiple(self, n45, n32, n14):
+        for tech in (n45, n32, n14):
+            assert tech.site_height % tech.layer("M1").pitch == 0
+
+    def test_upper_layers_wider(self, n45):
+        assert n45.layer("M9").width > n45.layer("M1").width

@@ -1,0 +1,79 @@
+"""Unit tests for design rule records."""
+
+import pytest
+
+from repro.tech.rules import (
+    CutSpacingRule,
+    EolRule,
+    MinAreaRule,
+    MinStepRule,
+    SpacingTable,
+)
+
+
+class TestSpacingTable:
+    def table(self):
+        return SpacingTable(
+            prl_values=[0, 280, 560],
+            width_rows=[
+                (0, [70, 70, 70]),
+                (140, [70, 105, 105]),
+                (280, [70, 105, 161]),
+            ],
+        )
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SpacingTable(prl_values=[], width_rows=[])
+
+    def test_validation_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            SpacingTable(prl_values=[0, 100], width_rows=[(0, [70])])
+
+    def test_default_cell(self):
+        assert self.table().lookup(0, 0) == 70
+
+    def test_narrow_shape_ignores_prl(self):
+        assert self.table().lookup(70, 10000) == 70
+
+    def test_wide_shape_short_prl(self):
+        assert self.table().lookup(200, 100) == 70
+
+    def test_wide_shape_long_prl(self):
+        assert self.table().lookup(200, 300) == 105
+        assert self.table().lookup(400, 600) == 161
+
+    def test_width_row_selection_is_floor(self):
+        # Width 279 selects the 140-row, not the 280-row.
+        assert self.table().lookup(279, 600) == 105
+
+    def test_negative_prl_uses_first_column(self):
+        assert self.table().lookup(400, -50) == 70
+
+    def test_max_spacing(self):
+        assert self.table().max_spacing == 161
+
+    def test_simple_constructor(self):
+        table = SpacingTable.simple(42)
+        assert table.lookup(0, 0) == 42
+        assert table.lookup(10**6, 10**6) == 42
+        assert table.max_spacing == 42
+
+
+class TestRuleRecords:
+    def test_eol_fields(self):
+        rule = EolRule(eol_space=90, eol_width=90, eol_within=25)
+        assert rule.eol_space == 90
+
+    def test_min_step_default_max_edges(self):
+        assert MinStepRule(min_step_length=35).max_edges == 0
+
+    def test_min_area(self):
+        assert MinAreaRule(min_area=19600).min_area == 19600
+
+    def test_cut_spacing(self):
+        assert CutSpacingRule(spacing=80).spacing == 80
+
+    def test_records_hashable(self):
+        # Rules are frozen records usable as dict keys.
+        {EolRule(1, 2, 3): "x", MinStepRule(4): "y"}

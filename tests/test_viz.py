@@ -1,0 +1,103 @@
+"""Unit tests for the SVG layout renderer."""
+
+import pytest
+
+from repro.core import PinAccessFramework
+from repro.geom.rect import Rect
+from repro.viz import LayoutPainter, render_pin_access, render_routing
+from repro.viz.svg import layer_color
+
+from tests.conftest import make_simple_design
+
+
+@pytest.fixture
+def design(n45):
+    return make_simple_design(n45)
+
+
+class TestLayoutPainter:
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(ValueError):
+            LayoutPainter(Rect(0, 0, 0, 100))
+
+    def test_empty_canvas_is_valid_svg(self):
+        svg = LayoutPainter(Rect(0, 0, 1000, 500)).to_svg()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'width="800"' in svg
+        assert 'height="400"' in svg  # aspect preserved
+
+    def test_rect_clipped_to_window(self):
+        painter = LayoutPainter(Rect(0, 0, 1000, 1000))
+        painter.add_rect(Rect(-500, -500, 100, 100), fill="#fff")
+        svg = painter.to_svg()
+        assert 'x="0.00"' in svg
+
+    def test_rect_outside_window_dropped(self):
+        painter = LayoutPainter(Rect(0, 0, 1000, 1000))
+        before = painter.to_svg()
+        painter.add_rect(Rect(5000, 5000, 6000, 6000), fill="#fff")
+        assert painter.to_svg() == before
+
+    def test_y_axis_flipped(self):
+        painter = LayoutPainter(Rect(0, 0, 1000, 1000), pixel_width=1000)
+        painter.add_rect(Rect(0, 900, 100, 1000), fill="#fff")
+        # A rect at the top of the design lands at SVG y=0.
+        assert 'y="0.00"' in painter.to_svg()
+
+    def test_marker_is_dashed(self):
+        painter = LayoutPainter(Rect(0, 0, 1000, 1000))
+        painter.add_marker(Rect(10, 10, 50, 50), title="metal-short")
+        svg = painter.to_svg()
+        assert "stroke-dasharray" in svg
+        assert "metal-short" in svg
+
+    def test_title_escaped(self):
+        painter = LayoutPainter(Rect(0, 0, 1000, 1000))
+        painter.add_rect(Rect(0, 0, 10, 10), fill="#fff", title="a<b&c")
+        svg = painter.to_svg()
+        assert "a&lt;b&amp;c" in svg
+
+    def test_point_cross(self):
+        painter = LayoutPainter(Rect(0, 0, 1000, 1000))
+        painter.add_point(500, 500, title="AP")
+        assert "<line" in painter.to_svg()
+
+    def test_point_outside_dropped(self):
+        painter = LayoutPainter(Rect(0, 0, 1000, 1000))
+        painter.add_point(5000, 5000)
+        assert "<line" not in painter.to_svg()
+
+
+class TestLayerColor:
+    def test_metal_palette(self):
+        assert layer_color("M1") != layer_color("M2")
+
+    def test_cut_layers_dark(self):
+        assert layer_color("V12") == layer_color("V23")
+
+    def test_unknown_layer_fallback(self):
+        assert layer_color("POLY").startswith("#")
+
+
+class TestRenderers:
+    def test_render_pin_access(self, design):
+        result = PinAccessFramework(design).run()
+        svg = render_pin_access(design, result.access_map())
+        assert svg.count("<rect") > 10
+        assert "<line" in svg  # access point crosses
+        assert "u0/A" in svg
+
+    def test_render_routing_with_markers(self, design):
+        from repro.drc.violations import Violation
+
+        class _FakeRouting:
+            wires = [("n1", "M2", Rect(1500, 1500, 1570, 2500))]
+            vias = [("n1", "V12_P", 1535, 1535)]
+
+        violations = [
+            Violation("metal-short", "M1", Rect(1500, 1500, 1600, 1600))
+        ]
+        svg = render_routing(design, _FakeRouting(), violations)
+        assert "stroke-dasharray" in svg
+        assert svg.count("<rect") > 5
