@@ -1,0 +1,117 @@
+"""Parallel fan-out and AP-cache speedups on a fixed design.
+
+Measures four runs of the full PAAF flow on ispd18_test5:
+
+* serial        -- ``run(jobs=1)``, the reference
+* parallel      -- ``run(jobs=2)``, per-unique-instance fan-out
+* cache cold    -- first run against an empty cache directory
+* cache warm    -- second run, Steps 1/2 served from disk
+
+and records them into ``BENCH_parallel.json`` at the repo root, so
+successive commits accumulate a runtime history.  Determinism is
+asserted unconditionally: every variant must produce the exact access
+map of the serial run.  The parallel *speedup* assertion is gated on
+``os.cpu_count() >= 2`` (process fan-out cannot beat serial on one
+core); the warm-cache speedup holds everywhere.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the design and skip the
+JSON append -- the run then only guards determinism and pickling.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.bench import build_testcase
+from repro.core import PinAccessFramework, PaafConfig
+from repro.report import format_table
+
+from benchmarks.conftest import BENCH_SCALE, publish
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SCALE = 0.002 if SMOKE else BENCH_SCALE
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+
+
+def _access_fingerprint(result):
+    return sorted(
+        (inst, pin, ap.x, ap.y, ap.primary_via)
+        for (inst, pin), ap in result.access_map().items()
+    )
+
+
+def _timed_run(design, **kwargs):
+    use_cache = kwargs.pop("use_cache", True)
+    config = PaafConfig(**kwargs)
+    t0 = time.perf_counter()
+    result = PinAccessFramework(design, config).run(use_cache=use_cache)
+    return time.perf_counter() - t0, result
+
+
+def test_parallel_and_cache_scaling(once):
+    design = build_testcase("ispd18_test5", scale=SCALE)
+
+    serial_s, serial = once(_timed_run, design, jobs=1)
+    parallel_s, parallel = _timed_run(design, jobs=2)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_s, cold = _timed_run(design, jobs=1, cache_dir=cache_dir)
+        warm_s, warm = _timed_run(design, jobs=1, cache_dir=cache_dir)
+        assert warm.stats["step12_tasks"] == 0
+        assert warm.stats["apcache"]["apcache.hit"] > 0
+
+    # Determinism before speed: every variant matches serial exactly.
+    reference = _access_fingerprint(serial)
+    for label, result in (
+        ("jobs=2", parallel),
+        ("cache cold", cold),
+        ("cache warm", warm),
+    ):
+        assert _access_fingerprint(result) == reference, label
+
+    entry = {
+        "design": design.name,
+        "scale": SCALE,
+        "cells": design.stats()["num_std_cells"],
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel2_s": round(parallel_s, 3),
+        "cache_cold_s": round(cold_s, 3),
+        "cache_warm_s": round(warm_s, 3),
+        "parallel_speedup": round(serial_s / max(1e-9, parallel_s), 3),
+        "warm_speedup": round(cold_s / max(1e-9, warm_s), 3),
+    }
+
+    rows = [
+        ["serial (jobs=1)", f"{serial_s:.2f}", "1.00"],
+        ["parallel (jobs=2)", f"{parallel_s:.2f}",
+         f"{entry['parallel_speedup']:.2f}"],
+        ["cache cold", f"{cold_s:.2f}", "-"],
+        ["cache warm", f"{warm_s:.2f}", f"{entry['warm_speedup']:.2f}"],
+    ]
+    text = format_table(
+        ["Run", "t(s)", "speedup"],
+        rows,
+        title=(
+            f"Parallel/cache scaling on {design.name} "
+            f"({entry['cells']} cells, {entry['cpu_count']} cores)"
+        ),
+    )
+    publish("parallel_scaling_smoke" if SMOKE else "parallel_scaling", text)
+
+    if not SMOKE:
+        history = []
+        if BENCH_JSON.exists():
+            history = json.loads(BENCH_JSON.read_text())
+        history.append(entry)
+        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+    # A warm cache skips all of Steps 1/2; it must not be slower than
+    # the cold run by more than noise.
+    assert warm_s <= cold_s * 1.5
+
+    if (os.cpu_count() or 1) >= 2 and not SMOKE:
+        # With real cores available, fan-out must buy wall time back.
+        assert parallel_s < serial_s * 1.2

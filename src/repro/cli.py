@@ -63,6 +63,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run the legacy TrRte-style flow instead")
     ana.add_argument("--list-failed", action="store_true",
                      help="print each failed pin")
+    ana.add_argument("-j", "--jobs", type=_job_count, default=1,
+                     help="worker processes for steps 1-3 (0 = all cores)")
+    ana.add_argument("--cache-dir",
+                     help="persistent AP/pattern cache directory")
+    ana.add_argument("--no-cache", action="store_true",
+                     help="bypass the AP cache for this run")
+    ana.add_argument("--profile", action="store_true",
+                     help="collect hot-path counters into the stats")
+    ana.add_argument("--stats-json",
+                     help="write timings/stats JSON here ('-' for stdout)")
     ana.set_defaults(handler=_cmd_analyze)
 
     rte = sub.add_parser("route", help="route and score pin-access DRCs")
@@ -92,6 +102,18 @@ def _build_parser() -> argparse.ArgumentParser:
     ste.set_defaults(handler=_cmd_suite)
 
     return parser
+
+
+def _job_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "jobs must be >= 0 (0 means all cores)"
+        )
+    return value
 
 
 def _add_io_args(sub_parser) -> None:
@@ -135,10 +157,22 @@ def _cmd_analyze(args) -> int:
         access_map = flow.access_map(result)
         label = "legacy (TrRte-style)"
     else:
-        config = PaafConfig()
+        config = PaafConfig(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            profile=args.profile,
+        )
         if args.no_bca:
             config = config.without_bca()
-        result = PinAccessFramework(design, config).run()
+        try:
+            framework = PinAccessFramework(design, config)
+        except OSError as exc:
+            print(
+                f"error: cannot use cache dir {args.cache_dir!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        result = framework.run(use_cache=not args.no_cache)
         access_map = result.access_map()
         label = "PAAF" + (" w/o BCA" if args.no_bca else " w/ BCA")
     failed = evaluate_failed_pins(design, access_map)
@@ -163,7 +197,32 @@ def _cmd_analyze(args) -> int:
     if args.list_failed:
         for inst_name, pin_name in failed:
             print(f"FAILED {inst_name}/{pin_name}")
+    if args.stats_json:
+        _dump_stats(args.stats_json, design, label, result, len(failed))
     return 0 if not failed else 1
+
+
+def _dump_stats(path, design, label, result, num_failed) -> None:
+    """Write the run's timings/stats payload as JSON (the bench feed)."""
+    import json
+
+    payload = {
+        "design": design.name,
+        "flow": label,
+        "timings": dict(getattr(result, "timings", {})),
+        "stats": getattr(result, "stats", {}),
+        "metrics": {
+            "access_points": result.total_access_points,
+            "failed_pins": num_failed,
+        },
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {path}")
 
 
 def _cmd_route(args) -> int:

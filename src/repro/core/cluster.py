@@ -18,6 +18,7 @@ from repro.core.pattern import AccessPattern
 from repro.db.design import Design
 from repro.drc.context import ShapeContext
 from repro.drc.engine import DrcEngine
+from repro.perf.profile import tick
 
 
 @dataclass
@@ -162,6 +163,21 @@ class ClusterPatternSelector:
                 cluster, candidates_by_inst, result, alternatives_fn
             )
         return result
+
+    def select_cluster(
+        self, cluster, candidates_by_inst, result, alternatives_fn=None
+    ) -> None:
+        """Run the DP for one cluster, accumulating into ``result``.
+
+        The per-cluster entry point the parallel Step 3 workers drive:
+        it lets a caller interleave clusters with its own bookkeeping
+        (per-cluster conflict slices) while sharing ``result`` so
+        multi-height pinning works across the caller's cluster
+        sequence.
+        """
+        self._select_in_cluster(
+            cluster, candidates_by_inst, result, alternatives_fn
+        )
 
     # -- internals ---------------------------------------------------------
 
@@ -343,7 +359,9 @@ class ClusterPatternSelector:
         key = (ap.primary_via, ap.x, ap.y, neighbor_inst.name)
         cached = self._via_vs_inst_cache.get(key)
         if cached is not None:
+            tick("cluster.via_vs_inst_cache.hit")
             return cached
+        tick("cluster.via_vs_inst_cache.miss")
         context = self._shape_ctx_cache.get(neighbor_inst.name)
         if context is None:
             context = ShapeContext.from_instance(neighbor_inst)
@@ -362,7 +380,9 @@ class ClusterPatternSelector:
         )
         cached = self._pair_cache.get(key)
         if cached is not None:
+            tick("cluster.pair_cache.hit")
             return cached
+        tick("cluster.pair_cache.miss")
         via_a = self.tech.via(ap_a.primary_via)
         via_b = self.tech.via(ap_b.primary_via)
         clean = not self.engine.check_via_pair(

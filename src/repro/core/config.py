@@ -39,11 +39,20 @@ class PaafConfig:
     drc_cost: int = 1000
     penalty_cost: int = 100
 
+    # Performance knobs (repro.perf).  These change how the flow
+    # executes, never what it computes: results are bit-identical for
+    # any ``jobs`` value, and the AP cache fingerprint excludes them.
+    jobs: int = 1                       # worker processes; 0 = all cores
+    cache_dir: str = None               # persistent AP/pattern cache root
+    profile: bool = False               # collect hot-path counters
+
     def __post_init__(self) -> None:
         if self.k <= 0:
             raise ValueError("k must be positive")
         if self.patterns_per_unique_instance <= 0:
             raise ValueError("patterns_per_unique_instance must be positive")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means all cores)")
 
     def without_bca(self) -> "PaafConfig":
         """Return a copy configured as the paper's "w/o BCA" setup.

@@ -44,13 +44,21 @@ class UniqueInstanceAccess:
 
 @dataclass
 class PinAccessResult:
-    """Aggregated output of the framework."""
+    """Aggregated output of the framework.
+
+    ``timings`` keeps the paper's per-step wall clocks (``step1``,
+    ``step2``, ``step3``, ``total``); ``stats`` carries the
+    observability payload of the perf subsystem -- cache hit/miss
+    counters, parallel fan-out info and (when ``config.profile`` is
+    set) hot-path counters -- and is what ``--stats-json`` dumps.
+    """
 
     design: Design
     config: PaafConfig
     unique_accesses: list = field(default_factory=list)
     selection: ClusterSelectionResult = None
     timings: dict = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
 
     # -- Experiment 1 metrics (unique-instance level) -----------------------
 
@@ -151,27 +159,64 @@ class PinAccessResult:
 
 
 class PinAccessFramework:
-    """The paper's complete pin access analysis framework (PAAF)."""
+    """The paper's complete pin access analysis framework (PAAF).
 
-    def __init__(self, design: Design, config: PaafConfig = None):
+    ``run()`` fans Steps 1 + 2 out as one fused task per unique
+    instance and Step 3 as one task per row-cluster *component*
+    (clusters linked by shared multi-height instances), over
+    ``config.jobs`` worker processes.  ``jobs=1`` executes the very
+    same task functions in-process, so parallel results are
+    bit-identical to serial ones by construction.  With
+    ``config.cache_dir`` set, per-unique-instance results persist
+    across runs keyed by signature + tech/config fingerprint.
+    """
+
+    def __init__(
+        self, design: Design, config: PaafConfig = None, cache=None
+    ):
         self.design = design
         self.config = config or PaafConfig()
         self.engine = DrcEngine(design.tech)
+        if cache is None and self.config.cache_dir:
+            from repro.perf.apcache import AccessCache, paaf_fingerprint
 
-    def run(self) -> PinAccessResult:
-        """Run all three steps and return the populated result."""
+            cache = AccessCache(
+                self.config.cache_dir,
+                paaf_fingerprint(design, self.config),
+            )
+        self.cache = cache
+
+    def run(self, jobs: int = None, use_cache: bool = True) -> PinAccessResult:
+        """Run all three steps and return the populated result.
+
+        ``jobs`` overrides ``config.jobs`` for this run (``0`` means
+        all cores); ``use_cache=False`` bypasses the persistent cache
+        for both lookup and store (the CLI's ``--no-cache``).
+        """
+        from repro.perf import profile
+
+        jobs = self.config.jobs if jobs is None else jobs
         result = PinAccessResult(design=self.design, config=self.config)
-        t0 = time.perf_counter()
-        self.run_step1(result)
-        t1 = time.perf_counter()
-        self.run_step2(result)
-        t2 = time.perf_counter()
-        self.run_step3(result)
-        t3 = time.perf_counter()
-        result.timings["step1"] = t1 - t0
-        result.timings["step2"] = t2 - t1
+        profiler = profile.activate() if self.config.profile else None
+        try:
+            t0 = time.perf_counter()
+            step1_s, step2_s = self._run_step12(result, jobs, use_cache)
+            t2 = time.perf_counter()
+            self._run_step3_components(result, jobs)
+            t3 = time.perf_counter()
+        finally:
+            if profiler is not None:
+                profile.deactivate()
+        result.timings["step1"] = step1_s
+        result.timings["step2"] = step2_s
         result.timings["step3"] = t3 - t2
         result.timings["total"] = t3 - t0
+        if self.cache is not None and use_cache:
+            result.stats["apcache"] = self.cache.stats()
+        if profiler is not None:
+            snapshot = profiler.snapshot()
+            result.stats["counters"] = snapshot["counters"]
+            result.stats["timers"] = snapshot["timers"]
         return result
 
     def run_step1(self, result: PinAccessResult = None) -> PinAccessResult:
@@ -226,6 +271,162 @@ class PinAccessFramework:
 
     # -- internals ---------------------------------------------------------
 
+    def _run_step12(
+        self, result: PinAccessResult, jobs: int, use_cache: bool
+    ) -> tuple:
+        """Fused Step 1 + 2: one task per unique instance.
+
+        Cache hits skip task dispatch entirely; misses run through
+        :func:`repro.perf.workers.step12_task` (in-process for
+        ``jobs=1``, worker processes otherwise) and are stored back.
+        Returns the summed per-phase seconds ``(step1, step2)``.
+        """
+        from repro.perf import profile, workers
+        from repro.perf.parallel import parallel_map
+
+        uis = unique_instances(self.design)
+        entries = [None] * len(uis)
+        cache = self.cache if use_cache else None
+        pending = []
+        for index, ui in enumerate(uis):
+            hit = cache.load(ui) if cache is not None else None
+            if hit is not None:
+                entries[index] = hit
+            else:
+                pending.append(index)
+        step1_s = step2_s = 0.0
+        if pending:
+            outcome = parallel_map(
+                workers.step12_task,
+                pending,
+                jobs=jobs,
+                initializer=workers.init_worker,
+                initargs=(self.design, self.config, self.config.profile),
+            )
+            profiler = profile.active_profiler()
+            for index, aps_by_pin, patterns, s1, s2, snap in outcome.results:
+                entries[index] = (aps_by_pin, patterns)
+                step1_s += s1
+                step2_s += s2
+                if snap is not None and profiler is not None:
+                    profiler.merge(snap)
+                if cache is not None:
+                    cache.store(uis[index], aps_by_pin, patterns)
+            result.stats["parallel.step12_jobs"] = outcome.jobs_used
+            if outcome.fellback:
+                result.stats["parallel.fallback"] = True
+        result.stats["unique_instances"] = len(uis)
+        result.stats["step12_tasks"] = len(pending)
+        for ui, (aps_by_pin, patterns) in zip(uis, entries):
+            result.unique_accesses.append(
+                UniqueInstanceAccess(
+                    unique_instance=ui,
+                    aps_by_pin=aps_by_pin,
+                    patterns=patterns,
+                )
+            )
+        return step1_s, step2_s
+
+    def _run_step3_components(
+        self, result: PinAccessResult, jobs: int
+    ) -> None:
+        """Step 3 fanned out across independent cluster components.
+
+        Clusters sharing an instance (multi-height cells span several
+        rows) form one component so the serial pinning semantics hold
+        inside each task; components are mutually independent.  The
+        per-cluster outputs are merged back in design cluster order,
+        reproducing the serial selection and conflict ordering.
+        """
+        from repro.perf import profile, workers
+        from repro.perf.parallel import parallel_map
+
+        clusters = self.design.row_clusters()
+        components = _cluster_components(clusters)
+        ua_of_inst = {}
+        translations = {}
+        for ua in result.unique_accesses:
+            for member in ua.unique_instance.members:
+                ua_of_inst[member.name] = ua
+                translations[member.name] = ua.unique_instance.translation_to(
+                    member
+                )
+        bca = self.config.boundary_conflict_aware
+        payloads = []
+        for component in components:
+            names = sorted(
+                {inst.name for ci in component for inst in clusters[ci]}
+            )
+            payloads.append(
+                {
+                    "clusters": component,
+                    "patterns": {
+                        name: ua_of_inst[name].patterns for name in names
+                    },
+                    "translations": {
+                        name: translations[name] for name in names
+                    },
+                    "aps": (
+                        {name: ua_of_inst[name].aps_by_pin for name in names}
+                        if bca
+                        else None
+                    ),
+                }
+            )
+        outcome = parallel_map(
+            workers.step3_task,
+            payloads,
+            jobs=jobs,
+            initializer=workers.init_worker,
+            initargs=(self.design, self.config, self.config.profile),
+        )
+        result.stats["parallel.step3_jobs"] = outcome.jobs_used
+        result.stats["clusters"] = len(clusters)
+        result.stats["cluster_components"] = len(components)
+        if outcome.fellback:
+            result.stats["parallel.fallback"] = True
+
+        profiler = profile.active_profiler()
+        per_cluster = []
+        for component_result, snap in outcome.results:
+            if snap is not None and profiler is not None:
+                profiler.merge(snap)
+            per_cluster.extend(component_result)
+        per_cluster.sort(key=lambda item: item[0])
+
+        selection = ClusterSelectionResult()
+        built = {}
+        for _, selections, conflicts in per_cluster:
+            for inst_name, pattern_index, overrides in selections:
+                selected = built.get(inst_name)
+                if selected is None:
+                    if pattern_index is None:
+                        # Mirror the serial placeholder for instances
+                        # without a selectable pattern.
+                        selected = SelectedAccess(
+                            inst=self.design.instance(inst_name),
+                            pattern=None,
+                            dx=0,
+                            dy=0,
+                        )
+                    else:
+                        dx, dy = translations[inst_name]
+                        selected = SelectedAccess(
+                            inst=self.design.instance(inst_name),
+                            pattern=ua_of_inst[inst_name].patterns[
+                                pattern_index
+                            ],
+                            dx=dx,
+                            dy=dy,
+                        )
+                    built[inst_name] = selected
+                # A pinned multi-height instance reports accumulated
+                # overrides from each cluster; the latest snapshot wins.
+                selected.overrides = dict(overrides)
+                selection.selection[inst_name] = selected
+            selection.conflicts.extend(conflicts)
+        result.selection = selection
+
     def _step1(self, result: PinAccessResult) -> None:
         generator = AccessPointGenerator(
             self.design, self.engine, self.config
@@ -239,6 +440,40 @@ class PinAccessFramework:
                     rep, pin, context
                 )
             result.unique_accesses.append(ua)
+
+
+def _cluster_components(clusters: list) -> list:
+    """Group cluster indices into instance-sharing components.
+
+    Two clusters belong to the same component when they share an
+    instance (a multi-height cell is a member of every row it covers).
+    Components are returned as sorted index lists, ordered by their
+    first cluster, so processing components in order and clusters
+    within a component in order reproduces the serial cluster order.
+    """
+    parent = list(range(len(clusters)))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    owner = {}
+    for ci, cluster in enumerate(clusters):
+        for inst in cluster:
+            prev = owner.get(inst.name)
+            if prev is None:
+                owner[inst.name] = ci
+            else:
+                parent[find(ci)] = find(prev)
+    components = {}
+    for ci in range(len(clusters)):
+        components.setdefault(find(ci), []).append(ci)
+    return sorted(
+        (sorted(members) for members in components.values()),
+        key=lambda members: members[0],
+    )
 
 
 def evaluate_failed_pins(design: Design, access_map: dict) -> list:

@@ -30,7 +30,6 @@ from repro.core.cluster import ClusterPatternSelector, SelectedAccess
 from repro.core.config import PaafConfig
 from repro.core.framework import (
     PinAccessFramework,
-    PinAccessResult,
     UniqueInstanceAccess,
 )
 from repro.core.signature import UniqueInstance, instance_signature
@@ -110,25 +109,34 @@ class IncrementalPinAccess:
     # -- internals ------------------------------------------------------------------
 
     def _analyze_unique_instance(self, inst, signature) -> UniqueInstanceAccess:
-        """Step 1 + Step 2 for a not-yet-seen signature."""
+        """Step 1 + Step 2 for a not-yet-seen signature.
+
+        Consults the framework's persistent AP cache first: a
+        placement edit that lands on an already-fingerprinted offset
+        class (the common incremental case) skips both steps entirely.
+        """
         ui = UniqueInstance(signature=signature, representative=inst)
         ui.members.append(inst)
-        partial = PinAccessResult(design=self.design, config=self.config)
-        partial.unique_accesses.append(UniqueInstanceAccess(unique_instance=ui))
-        from repro.core.apgen import AccessPointGenerator
-        from repro.drc.context import ShapeContext
+        cache = self.framework.cache
+        if cache is not None:
+            hit = cache.load(ui)
+            if hit is not None:
+                aps_by_pin, patterns = hit
+                return UniqueInstanceAccess(
+                    unique_instance=ui,
+                    aps_by_pin=aps_by_pin,
+                    patterns=patterns,
+                )
+        from repro.perf.workers import compute_unique_access
 
-        generator = AccessPointGenerator(
-            self.design, self.framework.engine, self.config
+        aps_by_pin, patterns, _, _ = compute_unique_access(
+            self.design, self.framework.engine, self.config, ui
         )
-        context = ShapeContext.from_instance(inst)
-        ua = partial.unique_accesses[0]
-        for pin in inst.master.signal_pins():
-            ua.aps_by_pin[pin.name] = generator.generate_for_pin(
-                inst, pin, context
-            )
-        self.framework.run_step2(partial)
-        return ua
+        if cache is not None:
+            cache.store(ui, aps_by_pin, patterns)
+        return UniqueInstanceAccess(
+            unique_instance=ui, aps_by_pin=aps_by_pin, patterns=patterns
+        )
 
     def _ua_of(self, inst) -> UniqueInstanceAccess:
         signature = instance_signature(self.design, inst)

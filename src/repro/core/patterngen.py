@@ -14,6 +14,7 @@ from repro.core.config import PaafConfig
 from repro.core.dpgraph import LayeredDpGraph
 from repro.core.pattern import AccessPattern
 from repro.drc.engine import DrcEngine
+from repro.perf.profile import tick
 from repro.tech.technology import Technology
 
 
@@ -129,7 +130,9 @@ class AccessPatternGenerator:
         key = (id(ap_a), id(ap_b))
         cached = self._pair_cache.get(key)
         if cached is not None:
+            tick("patterngen.pair_cache.hit")
             return cached
+        tick("patterngen.pair_cache.miss")
         compatible = self._check_pair(ap_a, ap_b)
         self._pair_cache[key] = compatible
         self._pair_cache[(key[1], key[0])] = compatible

@@ -9,6 +9,7 @@ from repro.drc.minstep import check_min_step
 from repro.drc.spacing import check_metal_spacing
 from repro.drc.violations import Violation
 from repro.geom.rect import Rect
+from repro.perf.profile import tick
 from repro.tech.technology import Technology
 from repro.tech.via import ViaDef
 
@@ -52,6 +53,10 @@ class DrcEngine:
 
         Returns the violation list (empty means DRC-clean).
         """
+        tick("drc.check.via_placement")
+        tick("drc.check.metal_spacing", 2)
+        tick("drc.check.eol_spacing", 2)
+        tick("drc.check.cut_spacing")
         bottom_layer = self.tech.layer(via.bottom_layer)
         cut_layer = self.tech.layer(via.cut_layer)
         top_layer = self.tech.layer(via.top_layer)
@@ -97,7 +102,17 @@ class DrcEngine:
         points must obey metal spacing on both enclosure layers, cut
         spacing, and min-step does not apply across nets.  ``pa`` /
         ``pb`` are ``(x, y)`` tuples.
+
+        Net-key handling is deliberate: the probe via always checks as
+        net ``"a"``; with ``same_net=True`` the context via is keyed
+        ``"a"`` as well, so the same-net pair is *exempt* from metal
+        spacing and EOL (same-net metal may abut or short) while cut
+        spacing still applies -- ``check_cut_spacing`` only skips the
+        identical cut rect, because two distinct same-net cuts (e.g.
+        stacked or redundant vias) still need cut-to-cut spacing.
+        ``tests/test_drc_engine.py`` pins this contract.
         """
+        tick("drc.check.via_pair")
         ctx = _PairContext(via_b, pb, net_key="b" if not same_net else "a")
         return self.check_via_placement(
             via_a,

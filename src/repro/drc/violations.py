@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.geom.rect import Rect
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Violation:
     """One design rule violation.
 

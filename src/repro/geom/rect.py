@@ -8,7 +8,7 @@ from repro.geom.interval import Interval
 from repro.geom.point import Point
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Rect:
     """A closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``.
 

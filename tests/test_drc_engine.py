@@ -101,6 +101,24 @@ class TestCheckViaPair:
         assert "metal-spacing" not in rules
         assert "cut-spacing" in rules
 
+    def test_same_net_exempts_eol_too(self, engine, via):
+        # Pins the net-key contract (see check_via_pair docstring):
+        # same_net=True keys both vias as net "a", which exempts EOL
+        # spacing along with metal spacing -- not just metal.  dy=200
+        # sits in the band where only M2 metal/EOL spacing fires.
+        diff = {v.rule for v in engine.check_via_pair(via, (0, 0), via, (0, 200))}
+        assert "eol-spacing" in diff
+        same = engine.check_via_pair(via, (0, 0), via, (0, 200), same_net=True)
+        assert same == []
+
+    def test_same_net_identical_stack_is_clean(self, engine, via):
+        # Two vias at the same spot: different nets short on metal and
+        # cut; the same net is fully clean because shorts are same-net
+        # exempt and check_cut_spacing skips the identical cut rect.
+        diff = {v.rule for v in engine.check_via_pair(via, (0, 0), via, (0, 0))}
+        assert {"metal-short", "cut-short"} <= diff
+        assert engine.check_via_pair(via, (0, 0), via, (0, 0), same_net=True) == []
+
     def test_vertical_separation_governed_by_top_enclosure(self, engine, via):
         # The M2 top enclosure is 140 tall, so vertical via pairs
         # interact on M2 long after the M1 enclosures are clear: at

@@ -1,0 +1,128 @@
+"""Tests for the persistent AP/pattern cache.
+
+Contract: a warm run loads Step 1/2 output from disk and produces a
+result identical to the cold run; any change to the tech or to an
+algorithmic config knob lands in a different fingerprint directory and
+misses cleanly; a corrupt entry degrades to a miss, never to a wrong
+answer.
+"""
+
+import dataclasses
+import glob
+import os
+
+import pytest
+
+from repro.bench import build_testcase
+from repro.core import PaafConfig, PinAccessFramework
+from repro.perf.apcache import (
+    PERF_ONLY_FIELDS,
+    AccessCache,
+    paaf_fingerprint,
+)
+
+from tests.test_perf_parallel import _fingerprint
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_testcase("ispd18_test1", scale=0.004)
+
+
+def _run(design, cache_dir, use_cache=True, **config_kwargs):
+    config = PaafConfig(cache_dir=str(cache_dir), **config_kwargs)
+    return PinAccessFramework(design, config).run(use_cache=use_cache)
+
+
+class TestWarmRuns:
+    def test_warm_run_identical_and_skips_step12(self, design, tmp_path):
+        cold = _run(design, tmp_path)
+        n_uniques = cold.stats["unique_instances"]
+        assert cold.stats["apcache"]["apcache.hit"] == 0
+        assert cold.stats["apcache"]["apcache.store"] == n_uniques
+        assert cold.stats["step12_tasks"] == n_uniques
+
+        warm = _run(design, tmp_path)
+        assert warm.stats["apcache"]["apcache.hit"] == n_uniques
+        assert warm.stats["apcache"]["apcache.miss"] == 0
+        assert warm.stats["step12_tasks"] == 0  # Step 1/2 fully skipped
+        assert _fingerprint(warm) == _fingerprint(cold)
+
+    def test_warm_run_identical_under_parallel(self, design, tmp_path):
+        cold = _run(design, tmp_path, jobs=2)
+        warm = _run(design, tmp_path, jobs=2)
+        assert warm.stats["step12_tasks"] == 0
+        assert _fingerprint(warm) == _fingerprint(cold)
+
+    def test_use_cache_false_bypasses(self, design, tmp_path):
+        _run(design, tmp_path)
+        bypass = _run(design, tmp_path, use_cache=False)
+        assert "apcache" not in bypass.stats
+        assert bypass.stats["step12_tasks"] == bypass.stats["unique_instances"]
+
+
+class TestInvalidation:
+    def test_config_change_misses(self, design, tmp_path):
+        cold = _run(design, tmp_path)
+        assert cold.stats["apcache"]["apcache.store"] > 0
+        changed = _run(design, tmp_path, alpha=PaafConfig().alpha + 1)
+        # Different fingerprint directory: all misses, no stale hits.
+        assert changed.stats["apcache"]["apcache.hit"] == 0
+        assert changed.stats["apcache"]["apcache.miss"] > 0
+
+    def test_perf_only_knobs_share_fingerprint(self, design):
+        base = PaafConfig()
+        for field in PERF_ONLY_FIELDS:
+            assert hasattr(base, field)
+        tweaked = dataclasses.replace(
+            base, jobs=4, cache_dir="/somewhere/else", profile=True
+        )
+        assert paaf_fingerprint(design, base) == paaf_fingerprint(
+            design, tweaked
+        )
+
+    def test_algorithmic_knobs_change_fingerprint(self, design):
+        base = PaafConfig()
+        assert paaf_fingerprint(design, base) != paaf_fingerprint(
+            design, base.without_bca()
+        )
+
+    def test_corrupt_entry_is_a_miss(self, design, tmp_path):
+        _run(design, tmp_path)
+        entries = glob.glob(str(tmp_path / "*" / "*.pkl"))
+        assert entries
+        # Alternate payloads: one raises UnpicklingError outright, the
+        # other starts with a valid opcode and fails deeper inside
+        # pickle with a different exception type.
+        for i, path in enumerate(entries):
+            with open(path, "wb") as handle:
+                handle.write(b"not a pickle" if i % 2 else b"garbage\n")
+        recovered = _run(design, tmp_path)
+        assert recovered.stats["apcache"]["apcache.hit"] == 0
+        assert recovered.stats["apcache"]["apcache.miss"] > 0
+        # And it re-stores good entries over the corrupt ones.
+        warm = _run(design, tmp_path)
+        assert warm.stats["apcache"]["apcache.hit"] > 0
+
+
+class TestCacheUnit:
+    def test_load_missing_is_miss(self, tmp_path):
+        cache = AccessCache(str(tmp_path), "deadbeef" * 8)
+        class FakeUi:
+            signature = ("M", "N", (0, 0))
+            class representative:
+                class location:
+                    x = 0
+                    y = 0
+        assert cache.load(FakeUi) is None
+        assert cache.misses == 1
+
+    def test_store_is_atomic(self, design, tmp_path):
+        """No partial entry files are left behind after a run."""
+        _run(design, tmp_path)
+        stray = [
+            name
+            for name in os.listdir(next(iter(glob.glob(str(tmp_path / "*")))))
+            if not name.endswith(".pkl")
+        ]
+        assert stray == []
