@@ -14,6 +14,13 @@ map of the serial run.  The parallel *speedup* assertion is gated on
 ``os.cpu_count() >= 2`` (process fan-out cannot beat serial on one
 core); the warm-cache speedup holds everywhere.
 
+``test_paircheck_kernel_vs_engine`` measures the translation-invariant
+pair kernel against the engine-backed reference on the same design:
+engine calls saved, raw query throughput, cold versus persisted table
+construction, and verify-mode overhead, recorded into
+``BENCH_pairkernel.json``.  Access maps must be bit-identical across
+all three ``paircheck_mode`` settings.
+
 Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the design and skip the
 JSON append -- the run then only guards determinism and pickling.
 """
@@ -26,6 +33,8 @@ import time
 
 from repro.bench import build_testcase
 from repro.core import PinAccessFramework, PaafConfig
+from repro.drc import DrcEngine
+from repro.drc.pairkernel import PairKernel
 from repro.report import format_table
 
 from benchmarks.conftest import BENCH_SCALE, publish
@@ -33,6 +42,9 @@ from benchmarks.conftest import BENCH_SCALE, publish
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 SCALE = 0.002 if SMOKE else BENCH_SCALE
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+BENCH_PAIR_JSON = (
+    pathlib.Path(__file__).parent.parent / "BENCH_pairkernel.json"
+)
 
 
 def _access_fingerprint(result):
@@ -115,3 +127,118 @@ def test_parallel_and_cache_scaling(once):
     if (os.cpu_count() or 1) >= 2 and not SMOKE:
         # With real cores available, fan-out must buy wall time back.
         assert parallel_s < serial_s * 1.2
+
+
+def _query_throughput(design, seconds=0.25):
+    """Raw pair-query rate: compiled table vs engine, queries/second."""
+    tech = design.tech
+    kernel = PairKernel(tech).build_all()
+    engine = DrcEngine(tech)
+    via = tech.via("V12_P")
+    probes = [(dx, dy) for dx in range(-300, 301, 20)
+              for dy in range(-300, 301, 20)]
+
+    def rate(fn):
+        count = 0
+        t0 = time.perf_counter()
+        while time.perf_counter() - t0 < seconds:
+            for dx, dy in probes:
+                fn(dx, dy)
+            count += len(probes)
+        return count / (time.perf_counter() - t0)
+
+    kernel_rate = rate(
+        lambda dx, dy: kernel.pair_clean("V12_P", 0, 0, "V12_P", dx, dy)
+    )
+    engine_rate = rate(
+        lambda dx, dy: engine.check_via_pair(via, (0, 0), via, (dx, dy))
+    )
+    return kernel_rate, engine_rate
+
+
+def test_paircheck_kernel_vs_engine(once):
+    design = build_testcase("ispd18_test5", scale=SCALE)
+
+    engine_s, engine_run = once(
+        _timed_run, design, profile=True, paircheck_mode="engine"
+    )
+    kernel_s, kernel_run = _timed_run(
+        design, profile=True, paircheck_mode="kernel"
+    )
+    verify_s, verify_run = _timed_run(
+        design, profile=True, paircheck_mode="verify"
+    )
+
+    # Determinism first: all three backends produce the same access.
+    reference = _access_fingerprint(engine_run)
+    assert _access_fingerprint(kernel_run) == reference
+    assert _access_fingerprint(verify_run) == reference
+
+    # The kernel absorbs the pairwise workload: engine invocations
+    # must drop by at least the 3x the acceptance bar demands (in
+    # practice the only survivors are validate()'s dirty-pair
+    # re-checks, which enumerate violation records).
+    engine_calls = engine_run.stats["counters"]["drc.check.via_pair"]
+    kernel_calls = kernel_run.stats["counters"].get("drc.check.via_pair", 0)
+    assert engine_calls >= 3 * max(1, kernel_calls)
+    queries = kernel_run.stats["counters"]["pairkernel.query"]
+    assert queries > 0
+
+    # Cold vs persisted: the first cached run compiles the tables,
+    # the second preloads them from disk and builds nothing.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_s, cold = _timed_run(design, cache_dir=cache_dir)
+        warm_s, warm = _timed_run(design, cache_dir=cache_dir)
+    assert cold.stats["pairkernel"]["built"] > 0
+    assert warm.stats["pairkernel"]["preloaded"]
+    assert warm.stats["pairkernel"]["built"] == 0
+    assert _access_fingerprint(cold) == reference
+    assert _access_fingerprint(warm) == reference
+
+    kernel_rate, engine_rate = _query_throughput(design)
+
+    entry = {
+        "design": design.name,
+        "scale": SCALE,
+        "cells": design.stats()["num_std_cells"],
+        "engine_mode_s": round(engine_s, 3),
+        "kernel_mode_s": round(kernel_s, 3),
+        "verify_mode_s": round(verify_s, 3),
+        "cold_tables_s": round(cold_s, 3),
+        "warm_tables_s": round(warm_s, 3),
+        "engine_pair_calls": engine_calls,
+        "kernel_pair_calls": kernel_calls,
+        "pair_call_reduction": round(engine_calls / max(1, kernel_calls), 1),
+        "kernel_queries": queries,
+        "tables_built_cold": cold.stats["pairkernel"]["built"],
+        "kernel_qps": round(kernel_rate),
+        "engine_qps": round(engine_rate),
+        "query_speedup": round(kernel_rate / max(1e-9, engine_rate), 1),
+    }
+
+    rows = [
+        ["engine mode", f"{engine_s:.2f}", f"{engine_calls}"],
+        ["kernel mode", f"{kernel_s:.2f}", f"{kernel_calls}"],
+        ["verify mode", f"{verify_s:.2f}", "-"],
+        ["tables cold", f"{cold_s:.2f}",
+         f"built {entry['tables_built_cold']}"],
+        ["tables warm", f"{warm_s:.2f}", "built 0 (preloaded)"],
+        ["query rate", f"{entry['query_speedup']:.0f}x",
+         f"{entry['kernel_qps']}/s vs {entry['engine_qps']}/s"],
+    ]
+    text = format_table(
+        ["Run", "t(s)", "engine pair calls"],
+        rows,
+        title=(
+            f"Pair-check backends on {design.name} "
+            f"({entry['cells']} cells)"
+        ),
+    )
+    publish("pairkernel_smoke" if SMOKE else "pairkernel", text)
+
+    if not SMOKE:
+        history = []
+        if BENCH_PAIR_JSON.exists():
+            history = json.loads(BENCH_PAIR_JSON.read_text())
+        history.append(entry)
+        BENCH_PAIR_JSON.write_text(json.dumps(history, indent=2) + "\n")

@@ -71,6 +71,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="bypass the AP cache for this run")
     ana.add_argument("--profile", action="store_true",
                      help="collect hot-path counters into the stats")
+    ana.add_argument("--paircheck-mode",
+                     choices=("kernel", "engine", "verify"),
+                     default="kernel",
+                     help="via-pair check backend: precompiled kernel "
+                          "tables, the DRC engine, or both cross-checked "
+                          "(results are identical for all three)")
     ana.add_argument("--stats-json",
                      help="write timings/stats JSON here ('-' for stdout)")
     ana.set_defaults(handler=_cmd_analyze)
@@ -161,6 +167,7 @@ def _cmd_analyze(args) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             profile=args.profile,
+            paircheck_mode=args.paircheck_mode,
         )
         if args.no_bca:
             config = config.without_bca()

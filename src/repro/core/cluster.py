@@ -18,6 +18,7 @@ from repro.core.pattern import AccessPattern
 from repro.db.design import Design
 from repro.drc.context import ShapeContext
 from repro.drc.engine import DrcEngine
+from repro.drc.pairkernel import PairKernel
 from repro.perf.profile import tick
 
 
@@ -102,12 +103,22 @@ class ClusterSelectionResult:
 class ClusterPatternSelector:
     """Runs the Step 3 DP over every cluster of a design."""
 
-    def __init__(self, design: Design, engine: DrcEngine, config: PaafConfig = None):
+    def __init__(
+        self,
+        design: Design,
+        engine: DrcEngine,
+        config: PaafConfig = None,
+        kernel: PairKernel = None,
+    ):
         self.design = design
         self.tech = design.tech
         self.engine = engine
         self.config = config or PaafConfig()
-        self._pair_cache = {}
+        if kernel is None:
+            kernel = PairKernel(
+                design.tech, mode=self.config.paircheck_mode, engine=engine
+            )
+        self.kernel = kernel
         self._shape_ctx_cache = {}
         self._via_vs_inst_cache = {}
         self._boundary_window = self._interaction_window()
@@ -374,22 +385,14 @@ class ClusterPatternSelector:
         return clean
 
     def _pair_clean(self, ap_a, ap_b) -> bool:
-        key = (
+        """Boundary pair verdict via the shared translation-invariant
+        kernel -- the same value-keyed backend Step 2 uses, so verdicts
+        are shared across clusters, selectors and worker processes
+        instead of living in a per-selector position-keyed dict."""
+        return self.kernel.pair_clean(
             ap_a.primary_via, ap_a.x, ap_a.y,
             ap_b.primary_via, ap_b.x, ap_b.y,
         )
-        cached = self._pair_cache.get(key)
-        if cached is not None:
-            tick("cluster.pair_cache.hit")
-            return cached
-        tick("cluster.pair_cache.miss")
-        via_a = self.tech.via(ap_a.primary_via)
-        via_b = self.tech.via(ap_b.primary_via)
-        clean = not self.engine.check_via_pair(
-            via_a, (ap_a.x, ap_a.y), via_b, (ap_b.x, ap_b.y)
-        )
-        self._pair_cache[key] = clean
-        return clean
 
     def _record_conflicts(self, chosen, result) -> None:
         """Re-check the selected neighbors and log residual conflicts."""

@@ -41,10 +41,16 @@ class PaafConfig:
 
     # Performance knobs (repro.perf).  These change how the flow
     # executes, never what it computes: results are bit-identical for
-    # any ``jobs`` value, and the AP cache fingerprint excludes them.
+    # any ``jobs`` value and any ``paircheck_mode``, and the AP cache
+    # fingerprint excludes them.
     jobs: int = 1                       # worker processes; 0 = all cores
     cache_dir: str = None               # persistent AP/pattern cache root
     profile: bool = False               # collect hot-path counters
+    paircheck_mode: str = "kernel"      # via-pair backend: "kernel"
+                                        # (forbidden-displacement tables),
+                                        # "engine" (DrcEngine oracle) or
+                                        # "verify" (both; raise on any
+                                        # divergence)
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -53,6 +59,11 @@ class PaafConfig:
             raise ValueError("patterns_per_unique_instance must be positive")
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0 (0 means all cores)")
+        if self.paircheck_mode not in ("kernel", "engine", "verify"):
+            raise ValueError(
+                "paircheck_mode must be 'kernel', 'engine' or 'verify', "
+                f"got {self.paircheck_mode!r}"
+            )
 
     def without_bca(self) -> "PaafConfig":
         """Return a copy configured as the paper's "w/o BCA" setup.

@@ -174,6 +174,8 @@ class PinAccessFramework:
     def __init__(
         self, design: Design, config: PaafConfig = None, cache=None
     ):
+        from repro.drc.pairkernel import PairKernel
+
         self.design = design
         self.config = config or PaafConfig()
         self.engine = DrcEngine(design.tech)
@@ -185,6 +187,15 @@ class PinAccessFramework:
                 paaf_fingerprint(design, self.config),
             )
         self.cache = cache
+        # One translation-invariant pair kernel for the whole flow:
+        # Step 2 compatibility, Step 3 boundary conflicts, the
+        # incremental analyzer and every worker process share its
+        # forbidden-displacement tables.
+        self.kernel = PairKernel(
+            design.tech,
+            mode=self.config.paircheck_mode,
+            engine=self.engine,
+        )
 
     def run(self, jobs: int = None, use_cache: bool = True) -> PinAccessResult:
         """Run all three steps and return the populated result.
@@ -200,6 +211,7 @@ class PinAccessFramework:
         profiler = profile.activate() if self.config.profile else None
         try:
             t0 = time.perf_counter()
+            self._prepare_kernel(use_cache)
             step1_s, step2_s = self._run_step12(result, jobs, use_cache)
             t2 = time.perf_counter()
             self._run_step3_components(result, jobs)
@@ -207,6 +219,9 @@ class PinAccessFramework:
         finally:
             if profiler is not None:
                 profile.deactivate()
+        if self.cache is not None and use_cache and self.kernel.built:
+            self.cache.store_pair_tables(self.kernel.tables)
+        result.stats["pairkernel"] = self.kernel.stats()
         result.timings["step1"] = step1_s
         result.timings["step2"] = step2_s
         result.timings["step3"] = t3 - t2
@@ -234,7 +249,7 @@ class PinAccessFramework:
     def run_step2(self, result: PinAccessResult) -> PinAccessResult:
         """Step 2: access pattern generation per unique instance."""
         generator = AccessPatternGenerator(
-            self.design.tech, self.engine, self.config
+            self.design.tech, self.engine, self.config, kernel=self.kernel
         )
         for ua in result.unique_accesses:
             ua.patterns = generator.generate(ua.aps_by_pin)
@@ -264,12 +279,29 @@ class PinAccessFramework:
         if not self.config.boundary_conflict_aware:
             alternatives_fn = None
         selector = ClusterPatternSelector(
-            self.design, self.engine, self.config
+            self.design, self.engine, self.config, kernel=self.kernel
         )
         result.selection = selector.select(candidates_by_inst, alternatives_fn)
         return result
 
     # -- internals ---------------------------------------------------------
+
+    def _prepare_kernel(self, use_cache: bool) -> None:
+        """Warm the pair kernel before any fan-out.
+
+        Preloads persisted forbidden-displacement tables from the
+        cache (they live under the same tech+config fingerprint as the
+        AP entries) and eagerly compiles the rest, so worker processes
+        receive the complete table set and never build their own.  In
+        ``engine`` mode the kernel is inert and stays empty.
+        """
+        if self.kernel.mode == "engine":
+            return
+        if self.cache is not None and use_cache:
+            tables = self.cache.load_pair_tables()
+            if tables:
+                self.kernel.preload(tables)
+        self.kernel.build_all()
 
     def _run_step12(
         self, result: PinAccessResult, jobs: int, use_cache: bool
@@ -301,7 +333,12 @@ class PinAccessFramework:
                 pending,
                 jobs=jobs,
                 initializer=workers.init_worker,
-                initargs=(self.design, self.config, self.config.profile),
+                initargs=(
+                    self.design,
+                    self.config,
+                    self.config.profile,
+                    self.kernel.tables,
+                ),
             )
             profiler = profile.active_profiler()
             for index, aps_by_pin, patterns, s1, s2, snap in outcome.results:
@@ -378,7 +415,12 @@ class PinAccessFramework:
             payloads,
             jobs=jobs,
             initializer=workers.init_worker,
-            initargs=(self.design, self.config, self.config.profile),
+            initargs=(
+                self.design,
+                self.config,
+                self.config.profile,
+                self.kernel.tables,
+            ),
         )
         result.stats["parallel.step3_jobs"] = outcome.jobs_used
         result.stats["clusters"] = len(clusters)

@@ -130,7 +130,8 @@ class IncrementalPinAccess:
         from repro.perf.workers import compute_unique_access
 
         aps_by_pin, patterns, _, _ = compute_unique_access(
-            self.design, self.framework.engine, self.config, ui
+            self.design, self.framework.engine, self.config, ui,
+            kernel=self.framework.kernel,
         )
         if cache is not None:
             cache.store(ui, aps_by_pin, patterns)
@@ -178,7 +179,8 @@ class IncrementalPinAccess:
         if not self.config.boundary_conflict_aware:
             alternatives_fn = None
         selector = ClusterPatternSelector(
-            self.design, self.framework.engine, self.config
+            self.design, self.framework.engine, self.config,
+            kernel=self.framework.kernel,
         )
         partial = selector.select(
             candidates, alternatives_fn, clusters=clusters

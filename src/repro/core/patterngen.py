@@ -14,7 +14,7 @@ from repro.core.config import PaafConfig
 from repro.core.dpgraph import LayeredDpGraph
 from repro.core.pattern import AccessPattern
 from repro.drc.engine import DrcEngine
-from repro.perf.profile import tick
+from repro.drc.pairkernel import PairKernel
 from repro.tech.technology import Technology
 
 
@@ -37,14 +37,43 @@ def order_pins(aps_by_pin: dict, alpha: float) -> list:
     return [pin_name for _, pin_name in keyed]
 
 
-class AccessPatternGenerator:
-    """Generates up to N mutually-diverse access patterns per unique instance."""
+def _ap_key(pin_name: str, ap: AccessPoint) -> tuple:
+    """Value identity of an access point within one unique instance.
 
-    def __init__(self, tech: Technology, engine: DrcEngine, config: PaafConfig = None):
+    Keys by ``(pin, via, x, y)`` rather than ``id(ap)``: object ids can
+    alias after garbage collection and never match across generator
+    instances, while value keys are stable and shareable.  Access
+    points are unique per pin location by construction (Step 1 dedupes
+    candidate points), so the value key is exactly as discriminating.
+    """
+    return (pin_name, ap.primary_via, ap.x, ap.y)
+
+
+class AccessPatternGenerator:
+    """Generates up to N mutually-diverse access patterns per unique instance.
+
+    Pairwise via compatibility is served by a shared
+    :class:`~repro.drc.pairkernel.PairKernel` (pass ``kernel`` to share
+    tables across generators and processes); with no kernel given, one
+    is built lazily from the technology in the config's
+    ``paircheck_mode``.
+    """
+
+    def __init__(
+        self,
+        tech: Technology,
+        engine: DrcEngine,
+        config: PaafConfig = None,
+        kernel: PairKernel = None,
+    ):
         self.tech = tech
         self.engine = engine
         self.config = config or PaafConfig()
-        self._pair_cache = {}
+        if kernel is None:
+            kernel = PairKernel(
+                tech, mode=self.config.paircheck_mode, engine=engine
+            )
+        self.kernel = kernel
 
     def generate(self, aps_by_pin: dict) -> list:
         """Return access patterns for one unique instance.
@@ -81,7 +110,7 @@ class AccessPatternGenerator:
                 patterns.append(pattern)
             for pin_name, ap in chosen:
                 if pin_name in boundary_pins:
-                    used_boundary_aps.add((pin_name, id(ap)))
+                    used_boundary_aps.add(_ap_key(pin_name, ap))
         return patterns
 
     # -- Algorithm 3 -------------------------------------------------------
@@ -94,7 +123,7 @@ class AccessPatternGenerator:
             pin_name, ap = vertex
             return (
                 pin_name in boundary_pins
-                and (pin_name, id(ap)) in used_boundary_aps
+                and _ap_key(pin_name, ap) in used_boundary_aps
             )
 
         def edge_cost(prev, curr, prev_prev) -> float:
@@ -123,31 +152,19 @@ class AccessPatternGenerator:
     def aps_compatible(self, ap_a: AccessPoint, ap_b: AccessPoint) -> bool:
         """Return True if the primary up-vias of two APs are DRC-clean.
 
-        Only up-vias are checked (the paper's acceleration); results
-        are memoized because the DP revisits the same pairs across
-        iterations.
+        Only up-vias are checked (the paper's acceleration).  Planar
+        access points short-circuit before any kernel lookup -- they
+        cannot conflict through vias.  The verdict itself comes from
+        the translation-invariant pair kernel, which replaces the old
+        per-generator ``id()``-keyed memo with tables shared across
+        unique instances, DP iterations and worker processes.
         """
-        key = (id(ap_a), id(ap_b))
-        cached = self._pair_cache.get(key)
-        if cached is not None:
-            tick("patterngen.pair_cache.hit")
-            return cached
-        tick("patterngen.pair_cache.miss")
-        compatible = self._check_pair(ap_a, ap_b)
-        self._pair_cache[key] = compatible
-        self._pair_cache[(key[1], key[0])] = compatible
-        return compatible
-
-    def _check_pair(self, ap_a: AccessPoint, ap_b: AccessPoint) -> bool:
         if not ap_a.has_via_access or not ap_b.has_via_access:
-            # Planar-only access points cannot conflict through vias.
             return True
-        via_a = self.tech.via(ap_a.primary_via)
-        via_b = self.tech.via(ap_b.primary_via)
-        violations = self.engine.check_via_pair(
-            via_a, (ap_a.x, ap_a.y), via_b, (ap_b.x, ap_b.y)
+        return self.kernel.pair_clean(
+            ap_a.primary_via, ap_a.x, ap_a.y,
+            ap_b.primary_via, ap_b.x, ap_b.y,
         )
-        return not violations
 
     # -- post-generation validation -----------------------------------------
 
@@ -158,6 +175,12 @@ class AccessPatternGenerator:
         the chain-structured DP cannot price (Sec. III-B end).  Returns
         ``(pin_a, pin_b, violation)`` tuples so failed-pin accounting
         can name the culprits.
+
+        The pair kernel prefilters: only pairs it reports dirty reach
+        the engine, which then enumerates the actual violation records.
+        Because a kernel-clean verdict is equivalent to an empty engine
+        result, the returned list is identical to checking every pair
+        through the engine.
         """
         items = list(pattern.aps.items())
         violations = []
@@ -166,6 +189,11 @@ class AccessPatternGenerator:
                 name_a, ap_a = items[i]
                 name_b, ap_b = items[j]
                 if not ap_a.has_via_access or not ap_b.has_via_access:
+                    continue
+                if self.kernel.pair_clean(
+                    ap_a.primary_via, ap_a.x, ap_a.y,
+                    ap_b.primary_via, ap_b.x, ap_b.y,
+                ):
                     continue
                 via_a = self.tech.via(ap_a.primary_via)
                 via_b = self.tech.via(ap_b.primary_via)

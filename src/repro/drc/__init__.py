@@ -14,5 +14,21 @@ key merge rather than violate.
 from repro.drc.violations import Violation
 from repro.drc.context import ShapeContext
 from repro.drc.engine import DrcEngine
+from repro.drc.pairkernel import (
+    PAIRCHECK_MODES,
+    PairCheckMismatch,
+    PairKernel,
+    PairTable,
+    build_pair_table,
+)
 
-__all__ = ["Violation", "ShapeContext", "DrcEngine"]
+__all__ = [
+    "Violation",
+    "ShapeContext",
+    "DrcEngine",
+    "PAIRCHECK_MODES",
+    "PairCheckMismatch",
+    "PairKernel",
+    "PairTable",
+    "build_pair_table",
+]

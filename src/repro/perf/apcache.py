@@ -35,7 +35,14 @@ import tempfile
 CACHE_FORMAT_VERSION = 1
 
 # Knobs that change how the flow executes but never what it computes.
-PERF_ONLY_FIELDS = frozenset({"jobs", "cache_dir", "profile"})
+# ``paircheck_mode`` qualifies because the pair kernel is provably
+# equivalent to the engine (verify mode raises on any divergence), so
+# switching backends must keep hitting the same cache entries.
+PERF_ONLY_FIELDS = frozenset({"jobs", "cache_dir", "profile", "paircheck_mode"})
+
+# Sibling file of the per-signature entries holding the pair kernel's
+# forbidden-displacement tables for this fingerprint's technology.
+PAIR_TABLE_FILE = "pairkernel.pkl"
 
 
 def paaf_fingerprint(design, config) -> str:
@@ -165,6 +172,48 @@ class AccessCache:
             "apcache.miss": self.misses,
             "apcache.store": self.stores,
         }
+
+    # -- pair kernel tables --------------------------------------------------
+
+    def load_pair_tables(self):
+        """Return the persisted pair-kernel tables, or None on miss.
+
+        The tables depend only on the technology and the rule set,
+        both covered by the fingerprint this cache is rooted under, so
+        a warm run adopts them wholesale and skips kernel construction.
+        """
+        path = os.path.join(self.root, PAIR_TABLE_FILE)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Same degradation contract as per-signature entries: a
+            # torn or stale file is a miss, never a crash.
+            return None
+        if not isinstance(entry, dict) or (
+            entry.get("version") != CACHE_FORMAT_VERSION
+        ):
+            return None
+        tables = entry.get("tables")
+        return tables if isinstance(tables, dict) else None
+
+    def store_pair_tables(self, tables: dict) -> None:
+        """Persist the pair-kernel tables atomically."""
+        entry = {"version": CACHE_FORMAT_VERSION, "tables": tables}
+        path = os.path.join(self.root, PAIR_TABLE_FILE)
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=4)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
 
     # -- internals ---------------------------------------------------------
 

@@ -30,19 +30,33 @@ from repro.core.patterngen import AccessPatternGenerator
 from repro.core.signature import unique_instances
 from repro.drc.context import ShapeContext
 from repro.drc.engine import DrcEngine
+from repro.drc.pairkernel import PairKernel
 from repro.perf.profile import profiled
 
 
 class WorkerState:
     """Per-process shared state, built once by :func:`init_worker`."""
 
-    __slots__ = ("design", "config", "profile", "engine", "_uniques", "_clusters")
+    __slots__ = (
+        "design", "config", "profile", "engine", "kernel",
+        "_uniques", "_clusters",
+    )
 
-    def __init__(self, design, config, profile=False):
+    def __init__(self, design, config, profile=False, pair_tables=None):
         self.design = design
         self.config = config
         self.profile = profile
         self.engine = DrcEngine(design.tech)
+        # One pair kernel per process, shared by every task: the
+        # parent ships its prebuilt forbidden-displacement tables so
+        # workers never recompile them (tables are value-keyed, hence
+        # valid in any process).
+        self.kernel = PairKernel(
+            design.tech,
+            mode=config.paircheck_mode,
+            engine=self.engine,
+            tables=pair_tables,
+        )
         self._uniques = None
         self._clusters = None
 
@@ -62,19 +76,21 @@ class WorkerState:
 _STATE = None
 
 
-def init_worker(design, config, profile=False) -> None:
+def init_worker(design, config, profile=False, pair_tables=None) -> None:
     """Pool initializer: install the shared state in this process."""
     global _STATE
-    _STATE = WorkerState(design, config, profile)
+    _STATE = WorkerState(design, config, profile, pair_tables)
 
 
-def compute_unique_access(design, engine, config, ui) -> tuple:
+def compute_unique_access(design, engine, config, ui, kernel=None) -> tuple:
     """Fused Step 1 + Step 2 for one unique instance.
 
     Returns ``(aps_by_pin, patterns, step1_seconds, step2_seconds)``.
     The two steps share the representative's intra-cell
     :class:`ShapeContext`, which is why they are fused into one task:
     the context is built (and, under process fan-out, shipped) once.
+    ``kernel`` is the shared pair kernel; each generator builds its
+    own when None.
     """
     rep = ui.representative
     t0 = time.perf_counter()
@@ -84,9 +100,9 @@ def compute_unique_access(design, engine, config, ui) -> tuple:
     for pin in rep.master.signal_pins():
         aps_by_pin[pin.name] = generator.generate_for_pin(rep, pin, context)
     t1 = time.perf_counter()
-    patterns = AccessPatternGenerator(design.tech, engine, config).generate(
-        aps_by_pin
-    )
+    patterns = AccessPatternGenerator(
+        design.tech, engine, config, kernel=kernel
+    ).generate(aps_by_pin)
     t2 = time.perf_counter()
     return aps_by_pin, patterns, t1 - t0, t2 - t1
 
@@ -102,12 +118,12 @@ def step12_task(index: int) -> tuple:
     if state.profile:
         with profiled() as prof:
             aps_by_pin, patterns, s1, s2 = compute_unique_access(
-                state.design, state.engine, state.config, ui
+                state.design, state.engine, state.config, ui, state.kernel
             )
         snapshot = prof.snapshot()
     else:
         aps_by_pin, patterns, s1, s2 = compute_unique_access(
-            state.design, state.engine, state.config, ui
+            state.design, state.engine, state.config, ui, state.kernel
         )
         snapshot = None
     return index, aps_by_pin, patterns, s1, s2, snapshot
@@ -165,7 +181,9 @@ def _run_step3_component(state, payload) -> list:
         def alternatives_fn(inst_name, pin_name):
             return aps_by_inst.get(inst_name, {}).get(pin_name, [])
 
-    selector = ClusterPatternSelector(design, state.engine, config)
+    selector = ClusterPatternSelector(
+        design, state.engine, config, kernel=state.kernel
+    )
     result = ClusterSelectionResult()
     per_cluster = []
     for ci in payload["clusters"]:
