@@ -5,8 +5,14 @@ Every paper table/figure has one module here.  Designs are generated at
 variable); each module renders its table to stdout and into
 ``benchmarks/results/<name>.txt`` so a ``--benchmark-only`` run leaves
 the full evaluation on disk.
+
+Runtime histories (``BENCH_*.json`` at the repo root) use the shared
+``repro.qa.bench/v1`` envelope; :func:`bench_history` transparently
+upgrades entries written before the schema existed, so old histories
+stay readable without a manual migration.
 """
 
+import json
 import os
 import pathlib
 
@@ -14,6 +20,7 @@ import pytest
 
 from repro.bench import build_testcase
 from repro.bench.ispd18 import ISPD18_TESTCASES
+from repro.qa.metrics import migrate_bench_entry
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.004"))
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -33,6 +40,22 @@ def bench_design(name: str, scale: float = None):
 def all_testcase_names():
     """Return the ten ispd18 testcase names."""
     return [spec.name for spec in ISPD18_TESTCASES]
+
+
+def bench_history(path) -> list:
+    """Load a ``BENCH_*.json`` history, upgrading pre-schema entries."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    return [migrate_bench_entry(e) for e in json.loads(path.read_text())]
+
+
+def append_bench_entry(path, entry: dict) -> None:
+    """Append one ``repro.qa.bench/v1`` entry to a history file."""
+    history = bench_history(path)
+    history.append(entry)
+    text = json.dumps(history, indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(text + "\n")
 
 
 def publish(name: str, text: str) -> None:

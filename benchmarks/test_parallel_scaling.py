@@ -7,8 +7,9 @@ Measures four runs of the full PAAF flow on ispd18_test5:
 * cache cold    -- first run against an empty cache directory
 * cache warm    -- second run, Steps 1/2 served from disk
 
-and records them into ``BENCH_parallel.json`` at the repo root, so
-successive commits accumulate a runtime history.  Determinism is
+and records them into ``BENCH_parallel.json`` at the repo root (in the
+shared ``repro.qa.bench/v1`` envelope), so successive commits
+accumulate a runtime history.  Determinism is
 asserted unconditionally: every variant must produce the exact access
 map of the serial run.  The parallel *speedup* assertion is gated on
 ``os.cpu_count() >= 2`` (process fan-out cannot beat serial on one
@@ -25,7 +26,6 @@ Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the design and skip the
 JSON append -- the run then only guards determinism and pickling.
 """
 
-import json
 import os
 import pathlib
 import tempfile
@@ -37,7 +37,9 @@ from repro.drc import DrcEngine
 from repro.drc.pairkernel import PairKernel
 from repro.report import format_table
 
-from benchmarks.conftest import BENCH_SCALE, publish
+from repro.qa.metrics import bench_entry
+
+from benchmarks.conftest import BENCH_SCALE, append_bench_entry, publish
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 SCALE = 0.002 if SMOKE else BENCH_SCALE
@@ -83,42 +85,44 @@ def test_parallel_and_cache_scaling(once):
     ):
         assert _access_fingerprint(result) == reference, label
 
-    entry = {
-        "design": design.name,
-        "scale": SCALE,
-        "cells": design.stats()["num_std_cells"],
-        "cpu_count": os.cpu_count(),
-        "serial_s": round(serial_s, 3),
-        "parallel2_s": round(parallel_s, 3),
-        "cache_cold_s": round(cold_s, 3),
-        "cache_warm_s": round(warm_s, 3),
-        "parallel_speedup": round(serial_s / max(1e-9, parallel_s), 3),
-        "warm_speedup": round(cold_s / max(1e-9, warm_s), 3),
-    }
+    entry = bench_entry(
+        design.name,
+        SCALE,
+        design.stats()["num_std_cells"],
+        perf={
+            "serial_s": round(serial_s, 3),
+            "parallel2_s": round(parallel_s, 3),
+            "cache_cold_s": round(cold_s, 3),
+            "cache_warm_s": round(warm_s, 3),
+        },
+        derived={
+            "parallel_speedup": round(serial_s / max(1e-9, parallel_s), 3),
+            "warm_speedup": round(cold_s / max(1e-9, warm_s), 3),
+        },
+        context={"cpu_count": os.cpu_count()},
+    )
 
     rows = [
         ["serial (jobs=1)", f"{serial_s:.2f}", "1.00"],
         ["parallel (jobs=2)", f"{parallel_s:.2f}",
-         f"{entry['parallel_speedup']:.2f}"],
+         f"{entry['derived']['parallel_speedup']:.2f}"],
         ["cache cold", f"{cold_s:.2f}", "-"],
-        ["cache warm", f"{warm_s:.2f}", f"{entry['warm_speedup']:.2f}"],
+        ["cache warm", f"{warm_s:.2f}",
+         f"{entry['derived']['warm_speedup']:.2f}"],
     ]
     text = format_table(
         ["Run", "t(s)", "speedup"],
         rows,
         title=(
             f"Parallel/cache scaling on {design.name} "
-            f"({entry['cells']} cells, {entry['cpu_count']} cores)"
+            f"({entry['cells']} cells, "
+            f"{entry['context']['cpu_count']} cores)"
         ),
     )
     publish("parallel_scaling_smoke" if SMOKE else "parallel_scaling", text)
 
     if not SMOKE:
-        history = []
-        if BENCH_JSON.exists():
-            history = json.loads(BENCH_JSON.read_text())
-        history.append(entry)
-        BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+        append_bench_entry(BENCH_JSON, entry)
 
     # A warm cache skips all of Steps 1/2; it must not be slower than
     # the cold run by more than noise.
@@ -197,34 +201,41 @@ def test_paircheck_kernel_vs_engine(once):
 
     kernel_rate, engine_rate = _query_throughput(design)
 
-    entry = {
-        "design": design.name,
-        "scale": SCALE,
-        "cells": design.stats()["num_std_cells"],
-        "engine_mode_s": round(engine_s, 3),
-        "kernel_mode_s": round(kernel_s, 3),
-        "verify_mode_s": round(verify_s, 3),
-        "cold_tables_s": round(cold_s, 3),
-        "warm_tables_s": round(warm_s, 3),
-        "engine_pair_calls": engine_calls,
-        "kernel_pair_calls": kernel_calls,
-        "pair_call_reduction": round(engine_calls / max(1, kernel_calls), 1),
-        "kernel_queries": queries,
-        "tables_built_cold": cold.stats["pairkernel"]["built"],
-        "kernel_qps": round(kernel_rate),
-        "engine_qps": round(engine_rate),
-        "query_speedup": round(kernel_rate / max(1e-9, engine_rate), 1),
-    }
+    entry = bench_entry(
+        design.name,
+        SCALE,
+        design.stats()["num_std_cells"],
+        perf={
+            "engine_mode_s": round(engine_s, 3),
+            "kernel_mode_s": round(kernel_s, 3),
+            "verify_mode_s": round(verify_s, 3),
+            "cold_tables_s": round(cold_s, 3),
+            "warm_tables_s": round(warm_s, 3),
+            "engine_pair_calls": engine_calls,
+            "kernel_pair_calls": kernel_calls,
+            "kernel_queries": queries,
+            "tables_built_cold": cold.stats["pairkernel"]["built"],
+            "kernel_qps": round(kernel_rate),
+            "engine_qps": round(engine_rate),
+        },
+        derived={
+            "pair_call_reduction": round(
+                engine_calls / max(1, kernel_calls), 1
+            ),
+            "query_speedup": round(kernel_rate / max(1e-9, engine_rate), 1),
+        },
+    )
+    perf = entry["perf"]
 
     rows = [
         ["engine mode", f"{engine_s:.2f}", f"{engine_calls}"],
         ["kernel mode", f"{kernel_s:.2f}", f"{kernel_calls}"],
         ["verify mode", f"{verify_s:.2f}", "-"],
         ["tables cold", f"{cold_s:.2f}",
-         f"built {entry['tables_built_cold']}"],
+         f"built {perf['tables_built_cold']}"],
         ["tables warm", f"{warm_s:.2f}", "built 0 (preloaded)"],
-        ["query rate", f"{entry['query_speedup']:.0f}x",
-         f"{entry['kernel_qps']}/s vs {entry['engine_qps']}/s"],
+        ["query rate", f"{entry['derived']['query_speedup']:.0f}x",
+         f"{perf['kernel_qps']}/s vs {perf['engine_qps']}/s"],
     ]
     text = format_table(
         ["Run", "t(s)", "engine pair calls"],
@@ -237,8 +248,4 @@ def test_paircheck_kernel_vs_engine(once):
     publish("pairkernel_smoke" if SMOKE else "pairkernel", text)
 
     if not SMOKE:
-        history = []
-        if BENCH_PAIR_JSON.exists():
-            history = json.loads(BENCH_PAIR_JSON.read_text())
-        history.append(entry)
-        BENCH_PAIR_JSON.write_text(json.dumps(history, indent=2) + "\n")
+        append_bench_entry(BENCH_PAIR_JSON, entry)

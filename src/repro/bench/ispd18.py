@@ -28,7 +28,6 @@ from repro.db.tracks import TrackPattern
 from repro.geom.point import Point
 from repro.geom.rect import Rect
 from repro.geom.transform import Orientation
-from repro.tech.layer import RoutingDirection
 from repro.tech.nodes import make_node
 
 
@@ -334,7 +333,7 @@ def _place_macros(
     return blocked
 
 
-# -- tracks --------------------------------------------------------------------
+# -- tracks -------------------------------------------------------------------
 
 
 def _add_tracks(design: Design, spec) -> None:

@@ -164,7 +164,9 @@ def _build_std_master(
     )
     _add_rails(master, tech, width, height, heights)
 
-    input_names = [f"A{i + 1}" if num_inputs > 1 else "A" for i in range(num_inputs)]
+    input_names = [
+        f"A{i + 1}" if num_inputs > 1 else "A" for i in range(num_inputs)
+    ]
     if name.startswith(("DFF", "SDFF")):
         input_names = ["D", "CK", "SI", "SE", "RN"][:num_inputs]
     pin_names = input_names + ["ZN"]
@@ -289,7 +291,9 @@ def _clamp_x(rect: Rect, lo: int, hi: int, min_width: int) -> Rect:
     xlo = max(rect.xlo, lo)
     xhi = min(rect.xhi, hi)
     if xhi - xlo < min_width:
-        center = max(lo + min_width // 2, min((xlo + xhi) // 2, hi - min_width // 2))
+        center = max(
+            lo + min_width // 2, min((xlo + xhi) // 2, hi - min_width // 2)
+        )
         xlo = center - min_width // 2
         xhi = xlo + min_width
     return Rect(xlo, rect.ylo, xhi, rect.yhi)
@@ -306,7 +310,10 @@ def _clamp_y(
     p = tech.layer("M1").pitch
     w = tech.layer("M1").width
     height = tech.site_height
-    extent = 3 * p // 2 + w if archetype in ("vbar", "lshape", "tshape") else 2 * w
+    if archetype in ("vbar", "lshape", "tshape"):
+        extent = 3 * p // 2 + w
+    else:
+        extent = 2 * w
     lo = 2 * w + w + extent          # rail + spacing + half shape
     hi = height - lo
     band = max(0, min(heights - 1, yc // height))

@@ -8,6 +8,11 @@ The deployment surface a downstream user drives:
 * ``route``    -- route a LEF/DEF pair with PAAF or legacy access and
   report routed pin-access DRCs (Experiment 3).
 * ``render``   -- draw the pin access view of a LEF/DEF pair as SVG.
+* ``qa``       -- golden-result regression gates: ``snapshot``,
+  ``check``, ``accept`` and ``diff`` over the committed corpus.
+
+User-facing failures (unreadable inputs, bad option values) exit
+non-zero with a one-line message; tracebacks are reserved for bugs.
 """
 
 from __future__ import annotations
@@ -30,14 +35,29 @@ from repro.route.drcu import drcu_access_map
 from repro.viz import render_pin_access, render_routing
 
 
+class CliError(Exception):
+    """A user-facing failure: print the message, exit 2, no traceback."""
+
+
 def main(argv: list = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    try:
+        # argparse reports its own errors (unknown subcommand, an
+        # invalid --paircheck-mode choice, ...) then raises SystemExit;
+        # surface that as a return code so embedders never see a
+        # traceback.
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
     if args.command is None:
         parser.print_help()
         return 2
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,7 +127,69 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ste.set_defaults(handler=_cmd_suite)
 
+    qa = sub.add_parser(
+        "qa",
+        help="golden-result regression gates (snapshot/check/accept/diff)",
+    )
+    qa.set_defaults(handler=_cmd_qa_help, qa_parser=qa)
+    qa_sub = qa.add_subparsers(dest="qa_command")
+
+    snap = qa_sub.add_parser(
+        "snapshot", help="run one generated case and record it as a golden"
+    )
+    snap.add_argument("testcase", help="e.g. ispd18_test1")
+    snap.add_argument("--scale", type=float, default=0.004)
+    _add_qa_run_args(snap)
+    snap.set_defaults(handler=_cmd_qa_snapshot)
+
+    chk = qa_sub.add_parser(
+        "check", help="re-run every golden case and gate the results"
+    )
+    _add_qa_check_args(chk)
+    chk.set_defaults(handler=_cmd_qa_check, qa_accept=False)
+
+    acc = qa_sub.add_parser(
+        "accept", help="re-run and overwrite drifting golden records"
+    )
+    _add_qa_check_args(acc)
+    acc.set_defaults(handler=_cmd_qa_check, qa_accept=True)
+
+    dif = qa_sub.add_parser(
+        "diff", help="print the full human-readable drift vs the goldens"
+    )
+    _add_qa_run_args(dif)
+    dif.add_argument("--cases", nargs="*", default=None,
+                     help="subset of golden case ids (default: all)")
+    dif.set_defaults(handler=_cmd_qa_diff)
+
     return parser
+
+
+def _add_qa_run_args(sub_parser) -> None:
+    sub_parser.add_argument("--goldens", default="goldens",
+                            help="golden corpus directory (default: goldens)")
+    sub_parser.add_argument("-j", "--jobs", type=_job_count, default=1,
+                            help="worker processes (0 = all cores); any "
+                                 "value must reproduce the same fingerprint")
+    sub_parser.add_argument("--paircheck-mode",
+                            choices=("kernel", "engine", "verify"),
+                            default="kernel",
+                            help="via-pair backend; any choice must "
+                                 "reproduce the same fingerprint")
+
+
+def _add_qa_check_args(sub_parser) -> None:
+    _add_qa_run_args(sub_parser)
+    sub_parser.add_argument("--cases", nargs="*", default=None,
+                            help="subset of golden case ids (default: all)")
+    sub_parser.add_argument("--tolerances",
+                            help="JSON file of per-metric regression "
+                                 "tolerances ({metric: {abs, rel}})")
+    sub_parser.add_argument("--json", dest="json_path",
+                            help="write the check report JSON here "
+                                 "(the CI artifact)")
+    sub_parser.add_argument("--max-diff-lines", type=int, default=20,
+                            help="cap per-case diff lines in check output")
 
 
 def _job_count(text: str) -> int:
@@ -129,15 +211,23 @@ def _add_io_args(sub_parser) -> None:
 
 
 def _load(args):
-    with open(args.lef) as handle:
-        lef_text = handle.read()
-    with open(args.def_path) as handle:
-        def_text = handle.read()
+    lef_text = _read_input(args.lef, "--lef")
+    def_text = _read_input(args.def_path, "--def")
     tech, masters = parse_lef(lef_text)
     return parse_def(def_text, tech, masters)
 
 
-# -- commands ------------------------------------------------------------------
+def _read_input(path: str, flag: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        # A missing or unreadable input is a usage error, not a bug:
+        # fail with the reason, not a traceback.
+        raise CliError(f"cannot read {flag} {path!r}: {exc}") from exc
+
+
+# -- commands -----------------------------------------------------------------
 
 
 def _cmd_generate(args) -> int:
@@ -322,6 +412,102 @@ def _cmd_suite(args) -> int:
     print()
     print(render_table3(rows3))
     return 0
+
+
+def _cmd_qa_help(args) -> int:
+    args.qa_parser.print_help()
+    return 2
+
+
+def _cmd_qa_snapshot(args) -> int:
+    from repro.qa import golden
+
+    record = golden.snapshot_case(
+        args.testcase,
+        args.scale,
+        jobs=args.jobs,
+        paircheck_mode=args.paircheck_mode,
+    )
+    path = golden.golden_path(args.goldens, args.testcase, args.scale)
+    golden.write_golden(path, record)
+    from repro.report import render_qa_metrics
+
+    print(render_qa_metrics(record["metrics"]))
+    digest = record["fingerprint"]["digest"]
+    print(f"wrote {path} (digest {digest[:16]}...)")
+    return 0
+
+
+def _cmd_qa_check(args) -> int:
+    import json
+
+    from repro.qa import golden
+
+    tolerances = None
+    if args.tolerances:
+        try:
+            with open(args.tolerances) as handle:
+                tolerances = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CliError(
+                f"cannot read --tolerances {args.tolerances!r}: {exc}"
+            ) from exc
+    try:
+        code, report = golden.check_goldens(
+            args.goldens,
+            cases=args.cases,
+            jobs=args.jobs,
+            paircheck_mode=args.paircheck_mode,
+            tolerances=tolerances,
+            accept=args.qa_accept,
+            max_diff_lines=args.max_diff_lines,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    from repro.report import render_qa_check
+
+    print(render_qa_check(report))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_path}")
+    return code
+
+
+def _cmd_qa_diff(args) -> int:
+    from repro.qa import golden
+    from repro.qa.fingerprint import canonical_result
+
+    try:
+        paths = golden.list_goldens(args.goldens, args.cases)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    if not paths:
+        print(f"no golden records under {args.goldens}")
+        return 1
+    drifted = False
+    for path in paths:
+        record = golden.load_golden(path)
+        case = record["case"]
+        result, _ = golden.run_case(
+            case["testcase"],
+            case["scale"],
+            jobs=args.jobs,
+            paircheck_mode=args.paircheck_mode,
+        )
+        lines = golden.diff_canonical(
+            record["canonical"], canonical_result(result)
+        )
+        cid = golden.case_id(case["testcase"], case["scale"])
+        if lines:
+            drifted = True
+            print(f"{cid}: {len(lines)} difference(s)")
+            for line in lines:
+                print(f"  {line}")
+        else:
+            print(f"{cid}: identical")
+    return 1 if drifted else 0
 
 
 def _cmd_render(args) -> int:

@@ -23,7 +23,6 @@ from repro.geom.maxrect import maximal_rectangles
 from repro.geom.point import Point
 from repro.geom.polygon import RectilinearPolygon
 from repro.geom.rect import Rect
-from repro.tech.layer import Layer
 
 
 PLANAR_DIRECTIONS = ("E", "W", "N", "S")
@@ -91,7 +90,9 @@ class AccessPoint:
 class AccessPointGenerator:
     """Implements Algorithm 1 for one design."""
 
-    def __init__(self, design: Design, engine: DrcEngine, config: PaafConfig = None):
+    def __init__(
+        self, design: Design, engine: DrcEngine, config: PaafConfig = None
+    ):
         self.design = design
         self.tech = design.tech
         self.engine = engine
@@ -234,11 +235,12 @@ class AccessPointGenerator:
         """
         half = layer.width // 2
         length = layer.pitch
+        x, y = point.x, point.y
         stubs = {
-            "E": Rect(point.x, point.y - half, point.x + length, point.y + half),
-            "W": Rect(point.x - length, point.y - half, point.x, point.y + half),
-            "N": Rect(point.x - half, point.y, point.x + half, point.y + length),
-            "S": Rect(point.x - half, point.y - length, point.x + half, point.y),
+            "E": Rect(x, y - half, x + length, y + half),
+            "W": Rect(x - length, y - half, x, y + half),
+            "N": Rect(x - half, y, x + half, y + length),
+            "S": Rect(x - half, y - length, x + half, y),
         }
         clean = []
         for direction in PLANAR_DIRECTIONS:

@@ -24,7 +24,7 @@ The pre-PAO strategy the paper compares against in Experiments 1 and 2:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.coords import CoordType, track_patterns_for_axis
 from repro.core.apgen import AccessPoint

@@ -248,7 +248,9 @@ class ClusterPatternSelector:
                     ):
                         break
 
-    def _try_override(self, chosen, position, pin_name, alternatives_fn) -> bool:
+    def _try_override(
+        self, chosen, position, pin_name, alternatives_fn
+    ) -> bool:
         """Try the pin's alternative APs; keep the first clean one."""
         selected = chosen[position]
         if selected.pattern is None or pin_name not in selected.pattern.aps:
@@ -261,13 +263,17 @@ class ClusterPatternSelector:
                 continue
             if not candidate.has_via_access:
                 continue
-            if not self._override_is_clean(chosen, position, pin_name, candidate):
+            if not self._override_is_clean(
+                chosen, position, pin_name, candidate
+            ):
                 continue
             selected.overrides[pin_name] = candidate
             return True
         return False
 
-    def _override_is_clean(self, chosen, position, pin_name, candidate) -> bool:
+    def _override_is_clean(
+        self, chosen, position, pin_name, candidate
+    ) -> bool:
         """Check a tentative AP against neighbors and its own pattern.
 
         The override is accepted when the pin drops out of every
@@ -307,11 +313,15 @@ class ClusterPatternSelector:
         conflicts = []
         if position > 0:
             conflicts.extend(
-                self._boundary_conflicts(chosen[position - 1], chosen[position])
+                self._boundary_conflicts(
+                    chosen[position - 1], chosen[position]
+                )
             )
         if position < len(chosen) - 1:
             conflicts.extend(
-                self._boundary_conflicts(chosen[position], chosen[position + 1])
+                self._boundary_conflicts(
+                    chosen[position], chosen[position + 1]
+                )
             )
         return conflicts
 
@@ -329,7 +339,9 @@ class ClusterPatternSelector:
             cost += self.config.drc_cost * len(selected.pattern.violations)
         return cost
 
-    def _boundary_conflicts(self, left: SelectedAccess, right: SelectedAccess) -> list:
+    def _boundary_conflicts(
+        self, left: SelectedAccess, right: SelectedAccess
+    ) -> list:
         """Return conflicting boundary AP pairs between two neighbors.
 
         Two interactions are checked, mirroring TritonRoute's cluster

@@ -9,7 +9,7 @@ optimization on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.coords import (
     NON_PREFERRED_TYPES,

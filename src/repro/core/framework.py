@@ -60,6 +60,35 @@ class PinAccessResult:
     timings: dict = field(default_factory=dict)
     stats: dict = field(default_factory=dict)
 
+    # -- identity hooks (repro.qa) ------------------------------------------
+    #
+    # Result ordering is stable by construction: ``unique_accesses``
+    # follows ``unique_instances(design)`` order, Step 3 merges
+    # per-cluster outputs back in design cluster order, and
+    # ``failed_pins`` walks ``design.connected_pins()``.  The qa layer
+    # leans on that to canonicalize and digest results.
+
+    def canonical(self) -> dict:
+        """Return the sorted plain-JSON form of this result.
+
+        See :func:`repro.qa.fingerprint.canonical_result`; this is the
+        payload golden records store and ``repro qa diff`` walks.
+        """
+        from repro.qa.fingerprint import canonical_result
+
+        return canonical_result(self)
+
+    def fingerprint(self):
+        """Digest this result (combined + per-step sub-digests).
+
+        The digest is invariant under every perf knob (``jobs``,
+        ``paircheck_mode``, cache state) -- the identity contract
+        ``repro qa check`` enforces against the golden corpus.
+        """
+        from repro.qa.fingerprint import result_fingerprint
+
+        return result_fingerprint(self)
+
     # -- Experiment 1 metrics (unique-instance level) -----------------------
 
     @property

@@ -66,7 +66,7 @@ class IncrementalPinAccess:
         for conflict in result.selection.conflicts:
             self._file_conflict(conflict)
 
-    # -- queries -----------------------------------------------------------------
+    # -- queries --------------------------------------------------------------
 
     def access_map(self) -> dict:
         """Return (inst, pin) -> access point over the current placement."""
@@ -88,7 +88,7 @@ class IncrementalPinAccess:
         """Return the wall time of the most recent incremental update."""
         return self._last_update_seconds
 
-    # -- edits --------------------------------------------------------------------
+    # -- edits ----------------------------------------------------------------
 
     def move_instance(self, inst_name: str, new_location: Point) -> None:
         """Move an instance and repair the analysis incrementally."""
@@ -106,9 +106,11 @@ class IncrementalPinAccess:
         self._reselect_rows(affected_rows)
         self._last_update_seconds = time.perf_counter() - t0
 
-    # -- internals ------------------------------------------------------------------
+    # -- internals ------------------------------------------------------------
 
-    def _analyze_unique_instance(self, inst, signature) -> UniqueInstanceAccess:
+    def _analyze_unique_instance(
+        self, inst, signature
+    ) -> UniqueInstanceAccess:
         """Step 1 + Step 2 for a not-yet-seen signature.
 
         Consults the framework's persistent AP cache first: a

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.db.inst import Instance
 from repro.db.master import CellMaster
@@ -97,7 +97,9 @@ class Design:
     def add_track_pattern(self, pattern: TrackPattern) -> TrackPattern:
         """Register a track pattern."""
         if not self.tech.has_layer(pattern.layer_name):
-            raise ValueError(f"track pattern on unknown layer {pattern.layer_name}")
+            raise ValueError(
+                f"track pattern on unknown layer {pattern.layer_name}"
+            )
         self.track_patterns.append(pattern)
         return pattern
 
@@ -165,12 +167,18 @@ class Design:
         if self._shape_index is None:
             self._build_shape_index()
         if layer_name not in self._shape_index:
-            bucket = max(1, self.tech.site_width * 8) if self.tech.site_width else 10000
+            if self.tech.site_width:
+                bucket = max(1, self.tech.site_width * 8)
+            else:
+                bucket = 10000
             self._shape_index[layer_name] = GridIndex(bucket=bucket)
         return self._shape_index[layer_name]
 
     def _build_shape_index(self) -> None:
-        bucket = max(1, self.tech.site_width * 8) if self.tech.site_width else 10000
+        if self.tech.site_width:
+            bucket = max(1, self.tech.site_width * 8)
+        else:
+            bucket = 10000
         index = {}
 
         def index_for(layer_name: str) -> GridIndex:

@@ -7,7 +7,6 @@ from repro.drc.eol import check_eol_spacing
 from repro.drc.minarea import check_min_area
 from repro.drc.minstep import check_min_step
 from repro.drc.spacing import check_metal_spacing
-from repro.drc.violations import Violation
 from repro.geom.rect import Rect
 from repro.perf.profile import tick
 from repro.tech.technology import Technology
@@ -124,10 +123,15 @@ class DrcEngine:
             label="via-pair",
         )
 
-    # -- plain metal -----------------------------------------------------------
+    # -- plain metal ----------------------------------------------------------
 
     def check_metal_rect(
-        self, layer_name: str, rect: Rect, net_key, context, label: str = "wire"
+        self,
+        layer_name: str,
+        rect: Rect,
+        net_key,
+        context,
+        label: str = "wire",
     ) -> list:
         """Check one metal rect (spacing + EOL) against the context."""
         layer = self.tech.layer(layer_name)
@@ -150,7 +154,7 @@ class DrcEngine:
         violations.extend(check_min_area(layer, rects, label))
         return violations
 
-    # -- helpers ---------------------------------------------------------------
+    # -- helpers --------------------------------------------------------------
 
     def _touching_same_net(
         self, layer_name: str, rect: Rect, net_key, context

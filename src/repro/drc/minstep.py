@@ -10,7 +10,6 @@ clean -- which is exactly why the coordinate-type ladder exists.
 from __future__ import annotations
 
 from repro.drc.violations import Violation
-from repro.geom.point import Point
 from repro.geom.polygon import boundary_edges
 from repro.geom.rect import Rect
 from repro.tech.layer import Layer
@@ -76,7 +75,9 @@ def _check_loop(layer: Layer, loop: list, rule, label: str) -> list:
     return violations
 
 
-def _run_violation(layer: Layer, loop: list, run_start: int, run: int, label: str):
+def _run_violation(
+    layer: Layer, loop: list, run_start: int, run: int, label: str
+):
     n = len(loop)
     pts = [loop[(run_start + i) % n] for i in range(run + 1)]
     xs = [p.x for p in pts]

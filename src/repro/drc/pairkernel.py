@@ -105,7 +105,12 @@ class PairTable:
         window = self.window
         if window is None:
             return True
-        if dx < window[0] or dx > window[1] or dy < window[2] or dy > window[3]:
+        if (
+            dx < window[0]
+            or dx > window[1]
+            or dy < window[2]
+            or dy > window[3]
+        ):
             return True
         for test in self.tests:
             kind = test[0]
@@ -299,7 +304,9 @@ class PairKernel:
         self.tables.update(tables)
         self.preloaded = True
 
-    def table(self, via_a: str, via_b: str, same_net: bool = False) -> PairTable:
+    def table(
+        self, via_a: str, via_b: str, same_net: bool = False
+    ) -> PairTable:
         """Return (building if needed) the table for one combination."""
         key = (via_a, via_b, same_net)
         table = self.tables.get(key)

@@ -26,7 +26,8 @@ class Rect:
     def __post_init__(self) -> None:
         if self.xlo > self.xhi or self.ylo > self.yhi:
             raise ValueError(
-                f"malformed rect ({self.xlo}, {self.ylo}, {self.xhi}, {self.yhi})"
+                f"malformed rect ({self.xlo}, {self.ylo}, "
+                f"{self.xhi}, {self.yhi})"
             )
 
     # -- constructors -----------------------------------------------------

@@ -65,7 +65,7 @@ class _LefParser:
     def _dbu_of(self, text: str) -> int:
         return round(float(text) * self.dbu)
 
-    # -- driver ----------------------------------------------------------------
+    # -- driver ---------------------------------------------------------------
 
     def run(self) -> None:
         while (token := self._peek()) is not None:
@@ -115,7 +115,7 @@ class _LefParser:
         for master in self.masters:
             master.site_name = master.site_name or site_name or ""
 
-    # -- sections ----------------------------------------------------------------
+    # -- sections -------------------------------------------------------------
 
     def _parse_units(self) -> None:
         self._expect("UNITS")

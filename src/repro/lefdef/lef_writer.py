@@ -82,7 +82,8 @@ def _layer_lines(layer, um, dbu) -> list:
             )
         if layer.min_area is not None:
             # AREA is in square microns.
-            out.append(f"  AREA {_fmt(layer.min_area.min_area / (dbu * dbu))} ;")
+            area = _fmt(layer.min_area.min_area / (dbu * dbu))
+            out.append(f"  AREA {area} ;")
     if layer.is_cut and layer.cut_spacing is not None:
         out.append(f"  SPACING {um(layer.cut_spacing.spacing)} ;")
     out.append(f"END {layer.name}")
@@ -97,7 +98,8 @@ def _macro_lines(master: CellMaster, um) -> list:
     if master.site_name:
         out.append(f"  SITE {master.site_name} ;")
     for pin in master.pins:
-        direction = "OUTPUT" if pin.name.startswith(("Z", "Q", "P")) else "INPUT"
+        is_output = pin.name.startswith(("Z", "Q", "P"))
+        direction = "OUTPUT" if is_output else "INPUT"
         if pin.use in (PinUse.POWER, PinUse.GROUND):
             direction = "INOUT"
         out.append(f"  PIN {pin.name}")

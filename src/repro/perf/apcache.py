@@ -22,6 +22,14 @@ The on-disk format is one pickle per signature under
 ``<cache_dir>/<fingerprint prefix>/<signature hash>.pkl``, written
 atomically (temp file + rename) so concurrent runs never observe a
 torn entry.  Corrupt or unreadable entries count as misses.
+
+Every entry additionally records the cache **fingerprint** it was
+written under and a **content digest** (the qa layer's canonical
+digest of the entry's APs and patterns).  Both are re-checked on
+load: an entry that unpickles fine but no longer matches -- bit rot,
+a file copied between fingerprint directories or signature slots, a
+stale generation -- is flagged via the ``apcache.stale`` counter and
+degrades to a miss instead of silently corrupting a warm run.
 """
 
 from __future__ import annotations
@@ -32,13 +40,17 @@ import os
 import pickle
 import tempfile
 
-CACHE_FORMAT_VERSION = 1
+from repro.qa.fingerprint import entry_digest
+
+CACHE_FORMAT_VERSION = 2
 
 # Knobs that change how the flow executes but never what it computes.
 # ``paircheck_mode`` qualifies because the pair kernel is provably
 # equivalent to the engine (verify mode raises on any divergence), so
 # switching backends must keep hitting the same cache entries.
-PERF_ONLY_FIELDS = frozenset({"jobs", "cache_dir", "profile", "paircheck_mode"})
+PERF_ONLY_FIELDS = frozenset(
+    {"jobs", "cache_dir", "profile", "paircheck_mode"}
+)
 
 # Sibling file of the per-signature entries holding the pair kernel's
 # forbidden-displacement tables for this fingerprint's technology.
@@ -90,6 +102,7 @@ class AccessCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.stale = 0
 
     # -- lookup ------------------------------------------------------------
 
@@ -119,6 +132,12 @@ class AccessCache:
         ):
             self.misses += 1
             return None
+        if not self._entry_intact(entry):
+            # Unpickles fine but is not the entry we wrote: stale
+            # generation, cross-fingerprint copy, or tampered payload.
+            self.stale += 1
+            self.misses += 1
+            return None
         origin = ui.representative.location
         aps_by_pin = {
             pin: [ap.translated(origin.x, origin.y) for ap in aps]
@@ -139,16 +158,20 @@ class AccessCache:
     def store(self, ui, aps_by_pin, patterns) -> None:
         """Persist one unique instance's Step 1/2 output."""
         origin = ui.representative.location
+        rel_aps = {
+            pin: [ap.translated(-origin.x, -origin.y) for ap in aps]
+            for pin, aps in aps_by_pin.items()
+        }
+        rel_patterns = [
+            _shift_pattern(p, -origin.x, -origin.y) for p in patterns
+        ]
         entry = {
             "version": CACHE_FORMAT_VERSION,
             "signature": ui.signature,
-            "aps_by_pin": {
-                pin: [ap.translated(-origin.x, -origin.y) for ap in aps]
-                for pin, aps in aps_by_pin.items()
-            },
-            "patterns": [
-                _shift_pattern(p, -origin.x, -origin.y) for p in patterns
-            ],
+            "fingerprint": self.fingerprint,
+            "content_digest": entry_digest(rel_aps, rel_patterns),
+            "aps_by_pin": rel_aps,
+            "patterns": rel_patterns,
         }
         path = self._path(ui.signature)
         os.makedirs(self.root, exist_ok=True)
@@ -171,6 +194,7 @@ class AccessCache:
             "apcache.hit": self.hits,
             "apcache.miss": self.misses,
             "apcache.store": self.stores,
+            "apcache.stale": self.stale,
         }
 
     # -- pair kernel tables --------------------------------------------------
@@ -196,12 +220,20 @@ class AccessCache:
             entry.get("version") != CACHE_FORMAT_VERSION
         ):
             return None
+        if entry.get("fingerprint") != self.fingerprint:
+            # A table file carried over from another tech/config
+            # generation: rebuild rather than trust it.
+            return None
         tables = entry.get("tables")
         return tables if isinstance(tables, dict) else None
 
     def store_pair_tables(self, tables: dict) -> None:
         """Persist the pair-kernel tables atomically."""
-        entry = {"version": CACHE_FORMAT_VERSION, "tables": tables}
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "tables": tables,
+        }
         path = os.path.join(self.root, PAIR_TABLE_FILE)
         os.makedirs(self.root, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -216,6 +248,18 @@ class AccessCache:
                 pass
 
     # -- internals ---------------------------------------------------------
+
+    def _entry_intact(self, entry) -> bool:
+        """Check an entry's recorded identity against its payload."""
+        if entry.get("fingerprint") != self.fingerprint:
+            return False
+        try:
+            digest = entry_digest(entry["aps_by_pin"], entry["patterns"])
+        except Exception:
+            # A payload mangled enough to break canonicalization is by
+            # definition not intact.
+            return False
+        return entry.get("content_digest") == digest
 
     def _path(self, signature) -> str:
         return os.path.join(self.root, signature_key(signature) + ".pkl")

@@ -1,0 +1,223 @@
+"""Paper-style quality metrics in a stable, gateable JSON schema.
+
+``quality_metrics`` extracts from a :class:`PinAccessResult` the
+numbers the paper's evaluation reports -- average access points per
+pin and k-coverage (Table II territory), pattern validity, boundary
+conflicts and cluster cost (Step 3), failed pins (Table III) -- as a
+flat JSON-serializable dict stamped with ``METRICS_SCHEMA``.
+
+The same schema underpins the ``BENCH_*.json`` perf baselines:
+``bench_entry`` wraps a measurement into the shared envelope
+(``design`` / ``scale`` / ``cells`` identity, ``perf`` timings,
+``derived`` speedups, ``context`` host facts) and
+``migrate_bench_entry`` upgrades the pre-schema flat entries so old
+histories stay readable.
+
+``compare_metrics`` is the quality gate: each metric has a known
+"better" direction, improvements always pass, and regressions fail
+once they exceed the configured absolute/relative tolerance.
+"""
+
+from __future__ import annotations
+
+METRICS_SCHEMA = "repro.qa.metrics/v1"
+BENCH_SCHEMA = "repro.qa.bench/v1"
+
+#: Which way is better, per gated metric.  Metrics absent here (design
+#: identity, schema stamps) are compared for information only.
+METRIC_DIRECTIONS = {
+    "access_points": "higher",
+    "avg_aps_per_pin": "higher",
+    "k_coverage": "higher",
+    "patterns": "higher",
+    "pattern_validity_rate": "higher",
+    "boundary_conflicts": "lower",
+    "cluster_cost": "lower",
+    "failed_pins": "lower",
+    "failed_pins_internal": "lower",
+}
+
+#: Default gate: any regression at all fails.  ``qa check
+#: --tolerances`` points at a JSON file of per-metric overrides, e.g.
+#: ``{"cluster_cost": {"rel": 0.05}, "failed_pins": {"abs": 1}}``.
+DEFAULT_TOLERANCES = {}
+
+
+def quality_metrics(result, failed: list = None) -> dict:
+    """Extract the gated quality metrics from a result.
+
+    ``failed`` is the output of
+    :func:`repro.core.framework.evaluate_failed_pins` (the paper's
+    fair, independently-scored Table III metric); when omitted, the
+    scorer is run here.  ``failed_pins_internal`` is the framework's
+    own bookkeeping (``result.failed_pins()``) -- the two agreeing is
+    itself a useful invariant.
+    """
+    if failed is None:
+        from repro.core.framework import evaluate_failed_pins
+
+        failed = evaluate_failed_pins(result.design, result.access_map())
+    num_pins = 0
+    covered_k = 0
+    k = result.config.k
+    for ua in result.unique_accesses:
+        for aps in ua.aps_by_pin.values():
+            num_pins += 1
+            if len(aps) >= k:
+                covered_k += 1
+    total_aps = result.total_access_points
+    patterns = sum(len(ua.patterns) for ua in result.unique_accesses)
+    clean = sum(
+        1
+        for ua in result.unique_accesses
+        for pattern in ua.patterns
+        if pattern.is_clean
+    )
+    selection = result.selection
+    cluster_cost = 0
+    conflicts = 0
+    if selection is not None:
+        cluster_cost = sum(
+            s.pattern.cost
+            for s in selection.selection.values()
+            if s.pattern is not None
+        )
+        conflicts = len(selection.conflicts)
+    connected = len(result.design.connected_pins())
+    return {
+        "schema": METRICS_SCHEMA,
+        "design": result.design.name,
+        "cells": result.design.stats()["num_std_cells"],
+        "unique_instances": result.num_unique_instances,
+        "connected_pins": connected,
+        "access_points": total_aps,
+        "avg_aps_per_pin": _ratio(total_aps, num_pins),
+        "k": k,
+        "k_coverage": _ratio(covered_k, num_pins),
+        "patterns": patterns,
+        "pattern_validity_rate": _ratio(clean, patterns),
+        "boundary_conflicts": conflicts,
+        "cluster_cost": cluster_cost,
+        "failed_pins": len(failed),
+        "failed_pins_internal": len(result.failed_pins()),
+        "failed_pin_rate": _ratio(len(failed), connected),
+    }
+
+
+def _ratio(num: int, den: int) -> float:
+    return round(num / den, 6) if den else 0.0
+
+
+def compare_metrics(
+    golden: dict, current: dict, tolerances: dict = None
+) -> list:
+    """Gate ``current`` against ``golden`` metric by metric.
+
+    Returns one row per gated metric:
+    ``(name, golden value, current value, status)`` where status is
+    ``ok`` (unchanged), ``improved``, ``tolerated`` (regressed within
+    tolerance) or ``regressed`` (the failing verdict).
+    """
+    tolerances = {**DEFAULT_TOLERANCES, **(tolerances or {})}
+    rows = []
+    for name, direction in METRIC_DIRECTIONS.items():
+        if name not in golden:
+            continue
+        want = golden[name]
+        have = current.get(name)
+        if have is None:
+            rows.append((name, want, have, "regressed"))
+            continue
+        delta = have - want
+        worse = delta < 0 if direction == "higher" else delta > 0
+        if delta == 0:
+            status = "ok"
+        elif not worse:
+            status = "improved"
+        else:
+            tol = tolerances.get(name, {})
+            allowed = max(
+                float(tol.get("abs", 0)),
+                float(tol.get("rel", 0)) * abs(want),
+            )
+            status = "tolerated" if abs(delta) <= allowed else "regressed"
+        rows.append((name, want, have, status))
+    return rows
+
+
+def regressions(rows: list) -> list:
+    """Filter :func:`compare_metrics` rows down to the failing ones."""
+    return [row for row in rows if row[3] == "regressed"]
+
+
+# -- BENCH_*.json envelope ---------------------------------------------------
+
+#: Pre-schema flat keys that describe the host, not the measurement.
+_CONTEXT_KEYS = frozenset({"cpu_count"})
+
+#: Pre-schema flat keys that are ratios derived from the raw timings.
+_DERIVED_KEYS = frozenset(
+    {
+        "parallel_speedup",
+        "warm_speedup",
+        "pair_call_reduction",
+        "query_speedup",
+    }
+)
+
+_IDENTITY_KEYS = frozenset({"design", "scale", "cells"})
+
+
+def bench_entry(
+    design: str,
+    scale: float,
+    cells: int,
+    perf: dict,
+    derived: dict = None,
+    context: dict = None,
+    metrics: dict = None,
+) -> dict:
+    """Build one ``BENCH_*.json`` history entry in the shared schema."""
+    entry = {
+        "schema": BENCH_SCHEMA,
+        "design": design,
+        "scale": scale,
+        "cells": cells,
+        "perf": dict(perf),
+        "derived": dict(derived or {}),
+        "context": dict(context or {}),
+    }
+    if metrics is not None:
+        entry["metrics"] = dict(metrics)
+    return entry
+
+
+def migrate_bench_entry(entry: dict) -> dict:
+    """Upgrade a pre-schema flat entry to the ``BENCH_SCHEMA`` layout.
+
+    Entries already carrying a ``schema`` stamp pass through
+    unchanged, so the migration is idempotent and histories may mix
+    generations.
+    """
+    if entry.get("schema") == BENCH_SCHEMA:
+        return entry
+    perf = {}
+    derived = {}
+    context = {}
+    for key, value in entry.items():
+        if key in _IDENTITY_KEYS:
+            continue
+        if key in _CONTEXT_KEYS:
+            context[key] = value
+        elif key in _DERIVED_KEYS:
+            derived[key] = value
+        else:
+            perf[key] = value
+    return bench_entry(
+        design=entry.get("design", "unknown"),
+        scale=entry.get("scale", 0.0),
+        cells=entry.get("cells", 0),
+        perf=perf,
+        derived=derived,
+        context=context,
+    )

@@ -8,6 +8,8 @@ from repro.report.tables import (
     render_table1,
     render_table2,
     render_table3,
+    render_qa_check,
+    render_qa_metrics,
 )
 
 __all__ = [
@@ -18,4 +20,6 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_table3",
+    "render_qa_check",
+    "render_qa_metrics",
 ]

@@ -162,3 +162,44 @@ def render_table3(rows: list) -> str:
             "(intra- + inter-cell)"
         ),
     )
+
+
+# -- repro.qa: quality metrics and golden-check reports ----------------------
+
+
+def render_qa_metrics(metrics: dict) -> str:
+    """Render one quality-metric record (``repro.qa.metrics`` schema)."""
+    rows = [
+        [name, metrics[name]]
+        for name in sorted(metrics)
+        if name not in ("schema", "design")
+    ]
+    title = (
+        f"Quality metrics: {metrics.get('design', '?')} "
+        f"({metrics.get('schema', 'unversioned')})"
+    )
+    return format_table(["metric", "value"], rows, title=title)
+
+
+def render_qa_check(report: dict) -> str:
+    """Render a ``qa check`` report as the per-case verdict table."""
+    rows = []
+    for entry in report.get("cases", []):
+        rows.append(
+            [
+                entry.get("case", "?"),
+                entry.get("status", "?"),
+                ",".join(entry.get("drifted_steps", [])) or "-",
+                len(entry.get("regressions", [])),
+                entry.get("digest", "")[:12],
+            ]
+        )
+    title = (
+        f"qa check (jobs={report.get('jobs')}, "
+        f"paircheck_mode={report.get('paircheck_mode')})"
+    )
+    return format_table(
+        ["case", "status", "drifted steps", "regressions", "digest"],
+        rows,
+        title=title,
+    )

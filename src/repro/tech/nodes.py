@@ -170,13 +170,12 @@ def _build(spec: _NodeSpec) -> Technology:
         )
         if i < NUM_ROUTING_LAYERS:
             cut_size = spec.cut_size if lower else spec.cut_size * 2
+            spacing = spec.cut_spacing if lower else spec.cut_spacing * 2
             tech.add_layer(
                 Layer(
                     name=f"V{i}{i + 1}",
                     kind=LayerKind.CUT,
-                    cut_spacing=CutSpacingRule(
-                        spacing=spec.cut_spacing if lower else spec.cut_spacing * 2
-                    ),
+                    cut_spacing=CutSpacingRule(spacing=spacing),
                 )
             )
     _add_vias(tech, spec)

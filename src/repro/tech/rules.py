@@ -8,7 +8,7 @@ min-step, min-area and cut spacing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.tech.layer import Layer, LayerKind
+from repro.tech.layer import Layer
 from repro.tech.via import ViaDef
 
 
@@ -61,7 +61,9 @@ class Technology:
             raise ValueError(f"duplicate via {via.name}")
         for lname in (via.bottom_layer, via.cut_layer, via.top_layer):
             if lname not in self._layers_by_name:
-                raise ValueError(f"via {via.name} references unknown layer {lname}")
+                raise ValueError(
+                    f"via {via.name} references unknown layer {lname}"
+                )
         self._vias_by_name[via.name] = via
         self._vias_by_bottom.setdefault(via.bottom_layer, []).append(via)
 
@@ -87,11 +89,11 @@ class Technology:
 
     def routing_layers(self) -> list:
         """Return routing layers bottom-up."""
-        return [l for l in self.layers if l.is_routing]
+        return [lyr for lyr in self.layers if lyr.is_routing]
 
     def cut_layers(self) -> list:
         """Return cut layers bottom-up."""
-        return [l for l in self.layers if l.is_cut]
+        return [lyr for lyr in self.layers if lyr.is_cut]
 
     def layer_above(self, layer: Layer) -> Layer:
         """Return the next layer up the stack, or None at the top."""
@@ -125,7 +127,9 @@ class Technology:
         """Return the primary up-via from the given routing layer."""
         vias = self.vias_from(bottom_layer_name)
         if not vias:
-            raise KeyError(f"no via definition from layer {bottom_layer_name!r}")
+            raise KeyError(
+                f"no via definition from layer {bottom_layer_name!r}"
+            )
         return vias[0]
 
     def microns(self, dbu: int) -> float:

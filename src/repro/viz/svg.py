@@ -54,7 +54,7 @@ class LayoutPainter:
             f'height="{rect.height * self.scale:.2f}"'
         )
 
-    # -- drawing primitives ----------------------------------------------------
+    # -- drawing primitives ---------------------------------------------------
 
     def add_rect(
         self,
@@ -124,7 +124,7 @@ class LayoutPainter:
             f"{_escape(text)}</text>"
         )
 
-    # -- composite draws ---------------------------------------------------------
+    # -- composite draws ------------------------------------------------------
 
     def draw_design(self, design: Design, layers: tuple = None) -> None:
         """Draw instance outlines and pin/obstruction shapes."""
@@ -198,7 +198,7 @@ class LayoutPainter:
         for v in violations:
             self.add_marker(v.marker, title=str(v))
 
-    # -- output -------------------------------------------------------------------
+    # -- output ---------------------------------------------------------------
 
     def to_svg(self) -> str:
         """Return the SVG document."""

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -130,4 +132,138 @@ class TestSuite:
 class TestTopLevel:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+
+class TestAnalyzeErrors:
+    """Bad inputs exit non-zero with a message, never a traceback."""
+
+    def test_missing_lef(self, tmp_path, capsys):
+        code = main(
+            [
+                "analyze",
+                "--lef",
+                str(tmp_path / "no.lef"),
+                "--def",
+                str(tmp_path / "no.def"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--lef" in err and "no.lef" in err
+
+    def test_missing_def(self, lefdef_pair, tmp_path, capsys):
+        lef, _ = lefdef_pair
+        code = main(
+            ["analyze", "--lef", str(lef), "--def", str(tmp_path / "no.def")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--def" in err
+
+    def test_unreadable_lef(self, tmp_path, capsys):
+        # A directory passes an existence check but cannot be read;
+        # the CLI must still fail cleanly.
+        code = main(
+            ["analyze", "--lef", str(tmp_path), "--def", str(tmp_path)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_paircheck_mode(self, lefdef_pair, capsys):
+        lef, deff = lefdef_pair
+        code = main(
+            [
+                "analyze",
+                "--lef",
+                str(lef),
+                "--def",
+                str(deff),
+                "--paircheck-mode",
+                "bogus",
+            ]
+        )
+        assert code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestQaCli:
+    @pytest.fixture(scope="class")
+    def goldens_dir(self, tmp_path_factory):
+        goldens = tmp_path_factory.mktemp("qa") / "goldens"
+        code = main(
+            [
+                "qa",
+                "snapshot",
+                "ispd18_test1",
+                "--scale",
+                "0.005",
+                "--goldens",
+                str(goldens),
+            ]
+        )
+        assert code == 0
+        return goldens
+
+    def test_snapshot_wrote_record(self, goldens_dir):
+        assert (goldens_dir / "ispd18_test1@0.005.json").exists()
+
+    def test_check_passes_and_writes_report(
+        self, goldens_dir, tmp_path, capsys
+    ):
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "qa",
+                "check",
+                "--goldens",
+                str(goldens_dir),
+                "--json",
+                str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok" in out
+        data = json.loads(report.read_text())
+        assert [e["status"] for e in data["cases"]] == ["ok"]
+
+    def test_diff_identical(self, goldens_dir, capsys):
+        code = main(["qa", "diff", "--goldens", str(goldens_dir)])
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_unknown_case_is_clean_error(self, goldens_dir, capsys):
+        code = main(
+            [
+                "qa",
+                "check",
+                "--goldens",
+                str(goldens_dir),
+                "--cases",
+                "nope@1",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_tolerances_file(self, goldens_dir, tmp_path, capsys):
+        bad = tmp_path / "tol.json"
+        bad.write_text("{not json")
+        code = main(
+            [
+                "qa",
+                "check",
+                "--goldens",
+                str(goldens_dir),
+                "--tolerances",
+                str(bad),
+            ]
+        )
+        assert code == 2
+        assert "--tolerances" in capsys.readouterr().err
+
+    def test_qa_without_subcommand_shows_help(self, capsys):
+        assert main(["qa"]) == 2
         assert "usage" in capsys.readouterr().out

@@ -10,6 +10,8 @@ answer.
 import dataclasses
 import glob
 import os
+import pickle
+import shutil
 
 import pytest
 
@@ -103,6 +105,109 @@ class TestInvalidation:
         # And it re-stores good entries over the corrupt ones.
         warm = _run(design, tmp_path)
         assert warm.stats["apcache"]["apcache.hit"] > 0
+
+
+def _entry_paths(cache_dir):
+    return sorted(
+        path
+        for path in glob.glob(str(cache_dir / "*" / "*.pkl"))
+        if not path.endswith("pairkernel.pkl")
+    )
+
+
+class TestStaleDetection:
+    """Entries that unpickle fine but hold wrong content are flagged.
+
+    The recorded content digest catches bit rot and tampering; the
+    recorded fingerprint catches files copied between generations.
+    Both degrade to a miss -- the flow recomputes and the result stays
+    bit-identical to a cold run.
+    """
+
+    def test_tampered_entry_degrades_to_miss(self, design, tmp_path):
+        cold = _run(design, tmp_path)
+        path = _entry_paths(tmp_path)[0]
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+        pin = sorted(entry["aps_by_pin"])[0]
+        entry["aps_by_pin"][pin][0].x += 5  # digest no longer matches
+        with open(path, "wb") as handle:
+            pickle.dump(entry, handle, protocol=4)
+
+        warm = _run(design, tmp_path)
+        stats = warm.stats["apcache"]
+        assert stats["apcache.stale"] == 1
+        assert stats["apcache.miss"] == 1
+        assert stats["apcache.hit"] == warm.stats["unique_instances"] - 1
+        assert _fingerprint(warm) == _fingerprint(cold)
+
+        # The recomputed entry was re-stored over the tampered one.
+        again = _run(design, tmp_path)
+        assert again.stats["apcache"]["apcache.stale"] == 0
+        assert again.stats["apcache"]["apcache.miss"] == 0
+
+    def test_cross_fingerprint_copy_is_stale(self, design, tmp_path):
+        _run(design, tmp_path)
+        path = _entry_paths(tmp_path)[0]
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+        entry["fingerprint"] = "0" * 64
+        with open(path, "wb") as handle:
+            pickle.dump(entry, handle, protocol=4)
+        warm = _run(design, tmp_path)
+        assert warm.stats["apcache"]["apcache.stale"] == 1
+
+    def test_clean_warm_run_reports_zero_stale(self, design, tmp_path):
+        _run(design, tmp_path)
+        warm = _run(design, tmp_path)
+        assert warm.stats["apcache"]["apcache.stale"] == 0
+
+
+class TestPairTableCorruption:
+    def _tables_path(self, cache_dir):
+        paths = glob.glob(str(cache_dir / "*" / "pairkernel.pkl"))
+        assert len(paths) == 1
+        return paths[0]
+
+    def test_truncated_tables_rebuild_cold(self, design, tmp_path):
+        cold = _run(design, tmp_path)
+        path = self._tables_path(tmp_path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+
+        warm = _run(design, tmp_path)
+        kernel = warm.stats["pairkernel"]
+        assert not kernel["preloaded"]
+        assert kernel["built"] > 0
+        assert _fingerprint(warm) == _fingerprint(cold)
+
+        # The rebuild re-persisted the tables: next run preloads.
+        again = _run(design, tmp_path)
+        assert again.stats["pairkernel"]["preloaded"]
+
+    def test_garbage_tables_rebuild_cold(self, design, tmp_path):
+        cold = _run(design, tmp_path)
+        with open(self._tables_path(tmp_path), "wb") as handle:
+            handle.write(b"not a pickle")
+        warm = _run(design, tmp_path)
+        assert not warm.stats["pairkernel"]["preloaded"]
+        assert _fingerprint(warm) == _fingerprint(cold)
+
+    def test_wrong_fingerprint_tables_rejected(self, tmp_path):
+        ours = AccessCache(str(tmp_path), "a" * 64)
+        ours.store_pair_tables({"k": 1})
+        assert ours.load_pair_tables() == {"k": 1}
+        # Copy the table file into another generation's directory:
+        # the recorded fingerprint no longer matches and the entry
+        # must be rejected wholesale.
+        theirs = AccessCache(str(tmp_path), "b" * 64)
+        shutil.copy(
+            os.path.join(ours.root, "pairkernel.pkl"),
+            os.path.join(theirs.root, "pairkernel.pkl"),
+        )
+        assert theirs.load_pair_tables() is None
 
 
 class TestCacheUnit:
