@@ -73,8 +73,8 @@ def test_parallel_and_cache_scaling(once):
     with tempfile.TemporaryDirectory() as cache_dir:
         cold_s, cold = _timed_run(design, jobs=1, cache_dir=cache_dir)
         warm_s, warm = _timed_run(design, jobs=1, cache_dir=cache_dir)
-        assert warm.stats["step12_tasks"] == 0
-        assert warm.stats["apcache"]["apcache.hit"] > 0
+        assert warm.stats["paaf.step12_tasks"] == 0
+        assert warm.stats["apcache.hit"] > 0
 
     # Determinism before speed: every variant matches serial exactly.
     reference = _access_fingerprint(serial)
@@ -182,10 +182,10 @@ def test_paircheck_kernel_vs_engine(once):
     # must drop by at least the 3x the acceptance bar demands (in
     # practice the only survivors are validate()'s dirty-pair
     # re-checks, which enumerate violation records).
-    engine_calls = engine_run.stats["counters"]["drc.check.via_pair"]
-    kernel_calls = kernel_run.stats["counters"].get("drc.check.via_pair", 0)
+    engine_calls = engine_run.stats["metrics.counters"]["drc.check.via_pair"]
+    kernel_calls = kernel_run.stats["metrics.counters"].get("drc.check.via_pair", 0)
     assert engine_calls >= 3 * max(1, kernel_calls)
-    queries = kernel_run.stats["counters"]["pairkernel.query"]
+    queries = kernel_run.stats["metrics.counters"]["pairkernel.query"]
     assert queries > 0
 
     # Cold vs persisted: the first cached run compiles the tables,
@@ -193,9 +193,9 @@ def test_paircheck_kernel_vs_engine(once):
     with tempfile.TemporaryDirectory() as cache_dir:
         cold_s, cold = _timed_run(design, cache_dir=cache_dir)
         warm_s, warm = _timed_run(design, cache_dir=cache_dir)
-    assert cold.stats["pairkernel"]["built"] > 0
-    assert warm.stats["pairkernel"]["preloaded"]
-    assert warm.stats["pairkernel"]["built"] == 0
+    assert cold.stats["pairkernel.built"] > 0
+    assert warm.stats["pairkernel.preloaded"]
+    assert warm.stats["pairkernel.built"] == 0
     assert _access_fingerprint(cold) == reference
     assert _access_fingerprint(warm) == reference
 
@@ -214,7 +214,7 @@ def test_paircheck_kernel_vs_engine(once):
             "engine_pair_calls": engine_calls,
             "kernel_pair_calls": kernel_calls,
             "kernel_queries": queries,
-            "tables_built_cold": cold.stats["pairkernel"]["built"],
+            "tables_built_cold": cold.stats["pairkernel.built"],
             "kernel_qps": round(kernel_rate),
             "engine_qps": round(engine_rate),
         },

@@ -99,7 +99,34 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(results are identical for all three)")
     ana.add_argument("--stats-json",
                      help="write timings/stats JSON here ('-' for stdout)")
+    ana.add_argument("--trace", action="store_true",
+                     help="record structured spans (summary in stats)")
+    ana.add_argument("--trace-out",
+                     help="write the span tree as Chrome-trace JSON "
+                          "(implies --trace)")
+    ana.add_argument("--metrics-out",
+                     help="write the merged metrics registry in "
+                          "Prometheus text format (implies --profile)")
+    ana.add_argument("--explain", metavar="JSONL",
+                     help="write the decision-event stream "
+                          "(repro.obs.events/v1 JSONL) for "
+                          "'repro explain'")
     ana.set_defaults(handler=_cmd_analyze)
+
+    exp = sub.add_parser(
+        "explain",
+        help="narrate why one instance pin got its access (obs events)",
+    )
+    _add_io_args(exp)
+    exp.add_argument("target", metavar="INST/PIN",
+                     help="instance and pin, e.g. u42/A")
+    exp.add_argument("--events",
+                     help="replay a saved repro.obs.events/v1 JSONL "
+                          "stream instead of re-running the analysis")
+    exp.add_argument("-j", "--jobs", type=_job_count, default=1,
+                     help="worker processes when re-running (0 = all "
+                          "cores)")
+    exp.set_defaults(handler=_cmd_explain)
 
     rte = sub.add_parser("route", help="route and score pin-access DRCs")
     _add_io_args(rte)
@@ -258,6 +285,10 @@ def _cmd_analyze(args) -> int:
             cache_dir=args.cache_dir,
             profile=args.profile,
             paircheck_mode=args.paircheck_mode,
+            trace=args.trace,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+            explain=args.explain or False,
         )
         if args.no_bca:
             config = config.without_bca()
@@ -296,6 +327,10 @@ def _cmd_analyze(args) -> int:
             print(f"FAILED {inst_name}/{pin_name}")
     if args.stats_json:
         _dump_stats(args.stats_json, design, label, result, len(failed))
+    if not args.baseline:
+        for path in (args.trace_out, args.metrics_out, args.explain):
+            if path:
+                print(f"wrote {path}")
     return 0 if not failed else 1
 
 
@@ -320,6 +355,37 @@ def _dump_stats(path, design, label, result, num_failed) -> None:
         with open(path, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote {path}")
+
+
+def _cmd_explain(args) -> int:
+    """Narrate one pin's access decisions from the obs event stream."""
+    from repro.obs.events import read_jsonl
+    from repro.obs.explain import explain_pin
+
+    if "/" not in args.target:
+        raise CliError(
+            f"target must be INSTANCE/PIN, got {args.target!r}"
+        )
+    inst_name, pin_name = args.target.split("/", 1)
+    design = _load(args)
+    if args.events:
+        try:
+            events = read_jsonl(args.events)
+        except (OSError, ValueError) as exc:
+            raise CliError(
+                f"cannot read --events {args.events!r}: {exc}"
+            ) from exc
+    else:
+        # A fresh uncached run: cached Steps 1-2 would skip candidate
+        # generation and leave the Step 1 story empty.
+        config = PaafConfig(jobs=args.jobs, explain=True)
+        result = PinAccessFramework(design, config).run()
+        events = result.events.events
+    try:
+        print(explain_pin(design, events, inst_name, pin_name))
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    return 0
 
 
 def _cmd_route(args) -> int:

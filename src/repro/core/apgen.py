@@ -23,6 +23,9 @@ from repro.geom.maxrect import maximal_rectangles
 from repro.geom.point import Point
 from repro.geom.polygon import RectilinearPolygon
 from repro.geom.rect import Rect
+from repro.obs.events import active_log
+from repro.obs.metrics import active_registry
+from repro.obs.trace import span
 
 
 PLANAR_DIRECTIONS = ("E", "W", "N", "S")
@@ -111,18 +114,24 @@ class AccessPointGenerator:
         seen_points = set()
         shapes = inst.pin_rects(pin.name)
         net_key = (inst.name, pin.name)
-        for layer_name in sorted(shapes):
-            layer = self.tech.layer(layer_name)
-            if not layer.is_routing:
-                continue
-            polygon = RectilinearPolygon(shapes[layer_name])
-            rects = maximal_rectangles(polygon)
-            done = self._generate_on_layer(
-                layer, rects, net_key, context, aps, seen_points,
-                is_macro=inst.master.is_macro, polygon=polygon,
-            )
-            if done:
-                break
+        with span("step1.pin", inst=inst.name, pin=pin.name) as record:
+            for layer_name in sorted(shapes):
+                layer = self.tech.layer(layer_name)
+                if not layer.is_routing:
+                    continue
+                polygon = RectilinearPolygon(shapes[layer_name])
+                rects = maximal_rectangles(polygon)
+                done = self._generate_on_layer(
+                    layer, rects, net_key, context, aps, seen_points,
+                    is_macro=inst.master.is_macro, polygon=polygon,
+                )
+                if done:
+                    break
+            if record is not None:
+                record["attrs"]["aps"] = len(aps)
+        registry = active_registry()
+        if registry is not None:
+            registry.observe("apgen.aps_per_pin", float(len(aps)))
         return aps
 
     # -- internals ---------------------------------------------------------
@@ -190,6 +199,8 @@ class AccessPointGenerator:
         needs its cut fully landed on pin metal (the strict via-in-pin
         reading for advanced nodes).
         """
+        registry = active_registry()
+        log = active_log()
         valid_vias = []
         for viadef in self.tech.vias_from(layer.name):
             if (
@@ -199,12 +210,22 @@ class AccessPointGenerator:
                     viadef.cut_at(point.x, point.y)
                 )
             ):
+                self._note_rejection(
+                    registry, log, net_key, layer, point, t0, t1,
+                    viadef.name, "cut-not-on-pin", viadef.cut_layer,
+                )
                 continue
             violations = self.engine.check_via_placement(
                 viadef, point.x, point.y, net_key, context
             )
             if not violations:
                 valid_vias.append(viadef.name)
+            else:
+                self._note_rejection(
+                    registry, log, net_key, layer, point, t0, t1,
+                    viadef.name, violations[0].rule,
+                    violations[0].layer_name,
+                )
         planar_dirs = []
         if self.config.check_planar:
             planar_dirs = self._planar_directions(
@@ -219,12 +240,59 @@ class AccessPointGenerator:
             valid_vias=valid_vias,
             planar_dirs=planar_dirs,
         )
-        if ap.has_via_access:
-            return ap
-        if not self.config.require_via_access or is_macro:
-            if planar_dirs:
-                return ap
-        return None
+        accepted = ap.has_via_access or (
+            (not self.config.require_via_access or is_macro)
+            and bool(planar_dirs)
+        )
+        if not accepted:
+            return None
+        if registry is not None:
+            registry.incr("apgen.accept")
+        if log is not None:
+            log.emit(
+                "ap.accept",
+                inst=net_key[0],
+                pin=net_key[1],
+                x=point.x,
+                y=point.y,
+                layer=layer.name,
+                vias=list(valid_vias),
+                planar=list(planar_dirs),
+                t0=t0.name.lower(),
+                t1=t1.name.lower(),
+            )
+        return ap
+
+    def _note_rejection(
+        self, registry, log, net_key, layer, point, t0, t1, via_name,
+        rule, rule_layer,
+    ) -> None:
+        """Record one rejected (candidate point, via) combination.
+
+        Counters key the rejection by DRC rule and by the candidate's
+        coordinate-type pair; the event stream keeps the full story
+        (which via, which rule, where) for ``repro explain``.
+        """
+        if registry is not None:
+            registry.incr("apgen.reject." + rule.replace("-", "_"))
+            registry.incr(
+                "apgen.reject.coord."
+                + t0.name.lower() + "." + t1.name.lower()
+            )
+        if log is not None:
+            log.emit(
+                "ap.reject",
+                inst=net_key[0],
+                pin=net_key[1],
+                x=point.x,
+                y=point.y,
+                layer=layer.name,
+                via=via_name,
+                rule=rule,
+                rule_layer=rule_layer,
+                t0=t0.name.lower(),
+                t1=t1.name.lower(),
+            )
 
     def _planar_directions(self, layer, point, net_key, context) -> list:
         """Return planar escape directions that check DRC-clean.

@@ -19,6 +19,8 @@ from repro.db.design import Design
 from repro.drc.context import ShapeContext
 from repro.drc.engine import DrcEngine
 from repro.drc.pairkernel import PairKernel
+from repro.obs.events import active_log
+from repro.obs.trace import span
 from repro.perf.profile import tick
 
 
@@ -195,6 +197,18 @@ class ClusterPatternSelector:
     def _select_in_cluster(
         self, cluster, candidates_by_inst, result, alternatives_fn
     ) -> None:
+        with span(
+            "step3.cluster",
+            first=cluster[0].name if cluster else None,
+            insts=len(cluster),
+        ):
+            self._select_in_cluster_impl(
+                cluster, candidates_by_inst, result, alternatives_fn
+            )
+
+    def _select_in_cluster_impl(
+        self, cluster, candidates_by_inst, result, alternatives_fn
+    ) -> None:
         groups = []
         members = []
         pinned = set()
@@ -231,8 +245,17 @@ class ClusterPatternSelector:
         ]
         if alternatives_fn is not None:
             self._repair_cluster(chosen, alternatives_fn)
+        log = active_log()
         for inst, selected in zip(members, chosen):
             result.selection[inst.name] = selected
+            if log is not None and inst.name not in pinned:
+                pattern = selected.pattern
+                log.emit(
+                    "cluster.selected",
+                    inst=inst.name,
+                    cost=pattern.cost if pattern is not None else None,
+                    pins=len(pattern.aps) if pattern is not None else 0,
+                )
         self._record_conflicts(chosen, result)
 
     def _repair_cluster(self, chosen, alternatives_fn) -> None:
@@ -267,6 +290,17 @@ class ClusterPatternSelector:
                 chosen, position, pin_name, candidate
             ):
                 continue
+            log = active_log()
+            if log is not None:
+                log.emit(
+                    "cluster.repair",
+                    inst=selected.inst.name,
+                    pin=pin_name,
+                    from_x=current.x,
+                    from_y=current.y,
+                    to_x=candidate.x,
+                    to_y=candidate.y,
+                )
             selected.overrides[pin_name] = candidate
             return True
         return False
@@ -408,5 +442,16 @@ class ClusterPatternSelector:
 
     def _record_conflicts(self, chosen, result) -> None:
         """Re-check the selected neighbors and log residual conflicts."""
+        log = active_log()
         for left, right in zip(chosen, chosen[1:]):
-            result.conflicts.extend(self._boundary_conflicts(left, right))
+            conflicts = self._boundary_conflicts(left, right)
+            result.conflicts.extend(conflicts)
+            if log is not None:
+                for inst_a, pin_a, inst_b, pin_b in conflicts:
+                    log.emit(
+                        "cluster.conflict",
+                        inst_a=inst_a,
+                        pin_a=pin_a,
+                        inst_b=inst_b,
+                        pin_b=pin_b,
+                    )

@@ -52,6 +52,17 @@ class PaafConfig:
                                         # "verify" (both; raise on any
                                         # divergence)
 
+    # Observability knobs (repro.obs).  Perf-only like the block
+    # above: they add telemetry, never change results, and the AP
+    # cache fingerprint excludes them.
+    trace: bool = False                 # record spans into result.trace
+    trace_out: str = None               # write Chrome-trace JSON here
+                                        # (implies trace)
+    metrics_out: str = None             # write Prometheus text here
+                                        # (implies a metrics registry)
+    explain: object = False             # collect decision events; a
+                                        # string is a JSONL output path
+
     def __post_init__(self) -> None:
         if self.k <= 0:
             raise ValueError("k must be positive")

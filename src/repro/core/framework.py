@@ -48,9 +48,19 @@ class PinAccessResult:
 
     ``timings`` keeps the paper's per-step wall clocks (``step1``,
     ``step2``, ``step3``, ``total``); ``stats`` carries the
-    observability payload of the perf subsystem -- cache hit/miss
-    counters, parallel fan-out info and (when ``config.profile`` is
-    set) hot-path counters -- and is what ``--stats-json`` dumps.
+    observability payload -- cache hit/miss counters, parallel
+    fan-out info, pair-kernel table counters and (when profiling or
+    tracing is on) the merged ``metrics.*`` / ``obs.*`` summaries --
+    and is what ``--stats-json`` dumps.  Every stats key follows the
+    ``domain.sub.name`` contract of
+    :func:`repro.obs.metrics.stats_name_violations`.
+
+    ``metrics`` / ``trace`` / ``events`` hold the live observability
+    sinks of the run (a
+    :class:`~repro.obs.metrics.MetricsRegistry`, a
+    :class:`~repro.obs.trace.Tracer` and an
+    :class:`~repro.obs.events.EventLog`) when the matching
+    ``PaafConfig`` knobs are set, else None.
     """
 
     design: Design
@@ -59,6 +69,9 @@ class PinAccessResult:
     selection: ClusterSelectionResult = None
     timings: dict = field(default_factory=dict)
     stats: dict = field(default_factory=dict)
+    metrics: object = None
+    trace: object = None
+    events: object = None
 
     # -- identity hooks (repro.qa) ------------------------------------------
     #
@@ -232,35 +245,63 @@ class PinAccessFramework:
         ``jobs`` overrides ``config.jobs`` for this run (``0`` means
         all cores); ``use_cache=False`` bypasses the persistent cache
         for both lookup and store (the CLI's ``--no-cache``).
+
+        Observability (all perf-only -- results are bit-identical with
+        any combination enabled): ``config.profile``/``metrics_out``
+        collect the merged metrics registry, ``trace``/``trace_out``
+        record the stitched span tree, ``explain`` the decision-event
+        stream; :meth:`repro.obs.collect.Collector.finish` attaches
+        them to the result and writes the configured output files.
         """
-        from repro.perf import profile
+        from repro.obs import trace as obs_trace
+        from repro.obs.collect import Collector
 
         jobs = self.config.jobs if jobs is None else jobs
         result = PinAccessResult(design=self.design, config=self.config)
-        profiler = profile.activate() if self.config.profile else None
-        try:
+        collector = Collector.from_config(self.config)
+        with collector:
             t0 = time.perf_counter()
-            self._prepare_kernel(use_cache)
-            step1_s, step2_s = self._run_step12(result, jobs, use_cache)
-            t2 = time.perf_counter()
-            self._run_step3_components(result, jobs)
-            t3 = time.perf_counter()
-        finally:
-            if profiler is not None:
-                profile.deactivate()
+            with obs_trace.span("paaf.run", design=self.design.name):
+                with obs_trace.span("paaf.kernel.prepare"):
+                    self._prepare_kernel(use_cache)
+                with obs_trace.span("paaf.step12") as span12:
+                    step1_s, step2_s = self._run_step12(
+                        result,
+                        jobs,
+                        use_cache,
+                        collector,
+                        span12["id"] if span12 else None,
+                    )
+                t2 = time.perf_counter()
+                with obs_trace.span("paaf.step3") as span3:
+                    self._run_step3_components(
+                        result,
+                        jobs,
+                        collector,
+                        span3["id"] if span3 else None,
+                    )
+                t3 = time.perf_counter()
         if self.cache is not None and use_cache and self.kernel.built:
             self.cache.store_pair_tables(self.kernel.tables)
-        result.stats["pairkernel"] = self.kernel.stats()
+        result.stats.update(self.kernel.stats())
         result.timings["step1"] = step1_s
         result.timings["step2"] = step2_s
         result.timings["step3"] = t3 - t2
         result.timings["total"] = t3 - t0
         if self.cache is not None and use_cache:
-            result.stats["apcache"] = self.cache.stats()
-        if profiler is not None:
-            snapshot = profiler.snapshot()
-            result.stats["counters"] = snapshot["counters"]
-            result.stats["timers"] = snapshot["timers"]
+            result.stats.update(self.cache.stats())
+        if collector.registry is not None:
+            registry = collector.registry
+            registry.set_gauge("paaf.jobs", jobs)
+            for name in (
+                "paaf.unique_instances",
+                "paaf.step12_tasks",
+                "paaf.clusters",
+                "paaf.cluster_components",
+            ):
+                if name in result.stats:
+                    registry.set_gauge(name, result.stats[name])
+        collector.finish(result, self.config)
         return result
 
     def run_step1(self, result: PinAccessResult = None) -> PinAccessResult:
@@ -281,7 +322,10 @@ class PinAccessFramework:
             self.design.tech, self.engine, self.config, kernel=self.kernel
         )
         for ua in result.unique_accesses:
-            ua.patterns = generator.generate(ua.aps_by_pin)
+            ua.patterns = generator.generate(
+                ua.aps_by_pin,
+                label=ua.unique_instance.representative.name,
+            )
         return result
 
     def run_step3(self, result: PinAccessResult) -> PinAccessResult:
@@ -333,16 +377,24 @@ class PinAccessFramework:
         self.kernel.build_all()
 
     def _run_step12(
-        self, result: PinAccessResult, jobs: int, use_cache: bool
+        self,
+        result: PinAccessResult,
+        jobs: int,
+        use_cache: bool,
+        collector,
+        parent_span=None,
     ) -> tuple:
         """Fused Step 1 + 2: one task per unique instance.
 
         Cache hits skip task dispatch entirely; misses run through
         :func:`repro.perf.workers.step12_task` (in-process for
         ``jobs=1``, worker processes otherwise) and are stored back.
-        Returns the summed per-phase seconds ``(step1, step2)``.
+        Task observability snapshots merge into ``collector`` in task
+        order (worker spans re-parent under ``parent_span``, the
+        ``paaf.step12`` span).  Returns the summed per-phase seconds
+        ``(step1, step2)``.
         """
-        from repro.perf import profile, workers
+        from repro.perf import workers
         from repro.perf.parallel import parallel_map
 
         uis = unique_instances(self.design)
@@ -369,20 +421,18 @@ class PinAccessFramework:
                     self.kernel.tables,
                 ),
             )
-            profiler = profile.active_profiler()
             for index, aps_by_pin, patterns, s1, s2, snap in outcome.results:
                 entries[index] = (aps_by_pin, patterns)
                 step1_s += s1
                 step2_s += s2
-                if snap is not None and profiler is not None:
-                    profiler.merge(snap)
+                collector.merge_task(snap, parent_span=parent_span)
                 if cache is not None:
                     cache.store(uis[index], aps_by_pin, patterns)
             result.stats["parallel.step12_jobs"] = outcome.jobs_used
             if outcome.fellback:
                 result.stats["parallel.fallback"] = True
-        result.stats["unique_instances"] = len(uis)
-        result.stats["step12_tasks"] = len(pending)
+        result.stats["paaf.unique_instances"] = len(uis)
+        result.stats["paaf.step12_tasks"] = len(pending)
         for ui, (aps_by_pin, patterns) in zip(uis, entries):
             result.unique_accesses.append(
                 UniqueInstanceAccess(
@@ -394,7 +444,11 @@ class PinAccessFramework:
         return step1_s, step2_s
 
     def _run_step3_components(
-        self, result: PinAccessResult, jobs: int
+        self,
+        result: PinAccessResult,
+        jobs: int,
+        collector,
+        parent_span=None,
     ) -> None:
         """Step 3 fanned out across independent cluster components.
 
@@ -402,9 +456,12 @@ class PinAccessFramework:
         rows) form one component so the serial pinning semantics hold
         inside each task; components are mutually independent.  The
         per-cluster outputs are merged back in design cluster order,
-        reproducing the serial selection and conflict ordering.
+        reproducing the serial selection and conflict ordering; task
+        observability snapshots merge into ``collector`` in task
+        order, re-parenting worker spans under ``parent_span`` (the
+        ``paaf.step3`` span).
         """
-        from repro.perf import profile, workers
+        from repro.perf import workers
         from repro.perf.parallel import parallel_map
 
         clusters = self.design.row_clusters()
@@ -452,16 +509,14 @@ class PinAccessFramework:
             ),
         )
         result.stats["parallel.step3_jobs"] = outcome.jobs_used
-        result.stats["clusters"] = len(clusters)
-        result.stats["cluster_components"] = len(components)
+        result.stats["paaf.clusters"] = len(clusters)
+        result.stats["paaf.cluster_components"] = len(components)
         if outcome.fellback:
             result.stats["parallel.fallback"] = True
 
-        profiler = profile.active_profiler()
         per_cluster = []
         for component_result, snap in outcome.results:
-            if snap is not None and profiler is not None:
-                profiler.merge(snap)
+            collector.merge_task(snap, parent_span=parent_span)
             per_cluster.extend(component_result)
         per_cluster.sort(key=lambda item: item[0])
 

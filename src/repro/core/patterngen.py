@@ -15,6 +15,9 @@ from repro.core.dpgraph import LayeredDpGraph
 from repro.core.pattern import AccessPattern
 from repro.drc.engine import DrcEngine
 from repro.drc.pairkernel import PairKernel
+from repro.obs.events import active_log
+from repro.obs.metrics import active_registry
+from repro.obs.trace import span
 from repro.tech.technology import Technology
 
 
@@ -75,12 +78,14 @@ class AccessPatternGenerator:
             )
         self.kernel = kernel
 
-    def generate(self, aps_by_pin: dict) -> list:
+    def generate(self, aps_by_pin: dict, label: str = None) -> list:
         """Return access patterns for one unique instance.
 
         ``aps_by_pin`` maps pin name to the Step 1 access point list
         (representative-instance coordinates).  Patterns cover every
-        pin that has at least one access point.
+        pin that has at least one access point.  ``label`` tags the
+        emitted observability spans/events with the owning instance
+        (the unique-instance representative's name).
         """
         cfg = self.config
         ordered_pins = order_pins(aps_by_pin, cfg.alpha)
@@ -94,30 +99,60 @@ class AccessPatternGenerator:
         used_boundary_aps = set()
         patterns = []
         seen_signatures = set()
-        for _ in range(cfg.patterns_per_unique_instance):
-            graph = LayeredDpGraph(groups)
-            chosen, cost = graph.solve(
-                self._edge_cost_fn(boundary_pins, used_boundary_aps)
-            )
-            pattern = AccessPattern(
-                aps={pin_name: ap for pin_name, ap in chosen},
-                cost=int(cost),
-            )
-            pattern.violations = self.validate(pattern)
-            signature = pattern.signature()
-            if signature not in seen_signatures:
-                seen_signatures.add(signature)
-                patterns.append(pattern)
-            for pin_name, ap in chosen:
-                if pin_name in boundary_pins:
-                    used_boundary_aps.add(_ap_key(pin_name, ap))
+        log = active_log()
+        with span("step2.patterns", inst=label) as record:
+            for iteration in range(cfg.patterns_per_unique_instance):
+                graph = LayeredDpGraph(groups)
+                chosen, cost = graph.solve(
+                    self._edge_cost_fn(
+                        boundary_pins, used_boundary_aps, label
+                    )
+                )
+                pattern = AccessPattern(
+                    aps={pin_name: ap for pin_name, ap in chosen},
+                    cost=int(cost),
+                )
+                pattern.violations = self.validate(pattern)
+                signature = pattern.signature()
+                if signature not in seen_signatures:
+                    seen_signatures.add(signature)
+                    patterns.append(pattern)
+                    if log is not None:
+                        log.emit(
+                            "pattern.generated",
+                            inst=label,
+                            index=len(patterns) - 1,
+                            cost=pattern.cost,
+                            clean=pattern.is_clean,
+                            pins={
+                                pin_name: [ap.x, ap.y]
+                                for pin_name, ap in pattern.aps.items()
+                            },
+                        )
+                for pin_name, ap in chosen:
+                    if pin_name in boundary_pins:
+                        used_boundary_aps.add(_ap_key(pin_name, ap))
+            if record is not None:
+                record["attrs"]["patterns"] = len(patterns)
         return patterns
 
     # -- Algorithm 3 -------------------------------------------------------
 
-    def _edge_cost_fn(self, boundary_pins: set, used_boundary_aps: set):
-        """Build the Algorithm 3 edge-cost callback for one DP run."""
+    def _edge_cost_fn(
+        self, boundary_pins: set, used_boundary_aps: set, label: str = None
+    ):
+        """Build the Algorithm 3 edge-cost callback for one DP run.
+
+        The observability sinks are captured once per DP run (the
+        callback itself is the Step 2 hot path): with a registry
+        active every edge cost lands in the ``patterngen.edge_cost``
+        histogram, and with an event log active each *penalized* edge
+        (boundary-used, DRC-incompatible, history-incompatible)
+        becomes a ``dp.edge.penalized`` event.
+        """
         cfg = self.config
+        registry = active_registry()
+        log = active_log()
 
         def is_used_boundary(vertex) -> bool:
             pin_name, ap = vertex
@@ -126,26 +161,84 @@ class AccessPatternGenerator:
                 and _ap_key(pin_name, ap) in used_boundary_aps
             )
 
+        if registry is None and log is None:
+            # Disabled path: the exact pre-observability closure, with
+            # zero per-edge overhead.
+            def edge_cost(prev, curr, prev_prev) -> float:
+                if prev is None:
+                    # Virtual source edge: the vertex's own quality
+                    # cost.
+                    _, ap = curr
+                    return cfg.ap_cost_scale * ap.cost
+                if cfg.boundary_conflict_aware and is_used_boundary(prev):
+                    return cfg.penalty_cost
+                if cfg.boundary_conflict_aware and is_used_boundary(curr):
+                    return cfg.penalty_cost
+                if not self.aps_compatible(prev[1], curr[1]):
+                    return cfg.drc_cost
+                if (
+                    cfg.history_aware
+                    and prev_prev is not None
+                    and not self.aps_compatible(prev_prev[1], curr[1])
+                ):
+                    return cfg.drc_cost
+                _, prev_ap = prev
+                _, curr_ap = curr
+                return cfg.ap_cost_scale * (prev_ap.cost + curr_ap.cost)
+
+            return edge_cost
+
+        def priced(prev, curr, cost, reason) -> float:
+            if registry is not None:
+                registry.observe("patterngen.edge_cost", float(cost))
+                if reason is not None:
+                    registry.incr(
+                        "patterngen.edge." + reason.replace("-", "_")
+                    )
+            if log is not None and reason is not None and prev is not None:
+                log.emit(
+                    "dp.edge.penalized",
+                    inst=label,
+                    reason=reason,
+                    pin_a=prev[0],
+                    ax=prev[1].x,
+                    ay=prev[1].y,
+                    pin_b=curr[0],
+                    bx=curr[1].x,
+                    by=curr[1].y,
+                    cost=cost,
+                )
+            return cost
+
         def edge_cost(prev, curr, prev_prev) -> float:
             if prev is None:
                 # Virtual source edge: the vertex's own quality cost.
                 _, ap = curr
-                return cfg.ap_cost_scale * ap.cost
+                return priced(prev, curr, cfg.ap_cost_scale * ap.cost, None)
             if cfg.boundary_conflict_aware and is_used_boundary(prev):
-                return cfg.penalty_cost
+                return priced(
+                    prev, curr, cfg.penalty_cost, "boundary-used"
+                )
             if cfg.boundary_conflict_aware and is_used_boundary(curr):
-                return cfg.penalty_cost
+                return priced(
+                    prev, curr, cfg.penalty_cost, "boundary-used"
+                )
             if not self.aps_compatible(prev[1], curr[1]):
-                return cfg.drc_cost
+                return priced(prev, curr, cfg.drc_cost, "drc-pair")
             if (
                 cfg.history_aware
                 and prev_prev is not None
                 and not self.aps_compatible(prev_prev[1], curr[1])
             ):
-                return cfg.drc_cost
+                return priced(prev, curr, cfg.drc_cost, "history-drc")
             _, prev_ap = prev
             _, curr_ap = curr
-            return cfg.ap_cost_scale * (prev_ap.cost + curr_ap.cost)
+            return priced(
+                prev,
+                curr,
+                cfg.ap_cost_scale * (prev_ap.cost + curr_ap.cost),
+                None,
+            )
 
         return edge_cost
 

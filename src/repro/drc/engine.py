@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import time
+
 from repro.drc.cutspacing import check_cut_spacing
 from repro.drc.eol import check_eol_spacing
 from repro.drc.minarea import check_min_area
 from repro.drc.minstep import check_min_step
 from repro.drc.spacing import check_metal_spacing
 from repro.geom.rect import Rect
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer, current_span_id
 from repro.perf.profile import tick
 from repro.tech.technology import Technology
 from repro.tech.via import ViaDef
@@ -52,10 +56,25 @@ class DrcEngine:
 
         Returns the violation list (empty means DRC-clean).
         """
-        tick("drc.check.via_placement")
-        tick("drc.check.metal_spacing", 2)
-        tick("drc.check.eol_spacing", 2)
-        tick("drc.check.cut_spacing")
+        # Hot path: grab the observability sinks once (a context-var
+        # load each) instead of per tick; both are None-guarded so the
+        # disabled cost stays two loads and two tests.
+        registry = active_registry()
+        tracer = active_tracer()
+        record = None
+        if tracer is not None:
+            record = tracer.begin(
+                "drc.via_placement",
+                {"via": via.name, "label": label},
+                current_span_id(),
+            )
+        t_start = 0.0
+        if registry is not None:
+            registry.incr("drc.check.via_placement")
+            registry.incr("drc.check.metal_spacing", 2)
+            registry.incr("drc.check.eol_spacing", 2)
+            registry.incr("drc.check.cut_spacing")
+            t_start = time.perf_counter()
         bottom_layer = self.tech.layer(via.bottom_layer)
         cut_layer = self.tech.layer(via.cut_layer)
         top_layer = self.tech.layer(via.top_layer)
@@ -89,6 +108,14 @@ class DrcEngine:
                     bottom_layer.name, bottom, net_key, context
                 )
             violations.extend(check_min_step(bottom_layer, merged, label))
+        if registry is not None:
+            registry.observe(
+                "drc.check.via_placement.seconds",
+                time.perf_counter() - t_start,
+            )
+        if record is not None:
+            record["attrs"]["violations"] = len(violations)
+            tracer.end(record)
         return violations
 
     def check_via_pair(

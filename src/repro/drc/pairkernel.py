@@ -58,6 +58,7 @@ from __future__ import annotations
 
 from repro.drc.engine import DrcEngine
 from repro.drc.eol import eol_trigger_regions
+from repro.obs.trace import span
 from repro.perf.profile import tick
 from repro.tech.technology import Technology
 from repro.tech.via import ViaDef
@@ -312,9 +313,18 @@ class PairKernel:
         table = self.tables.get(key)
         if table is None:
             tick("pairkernel.table.build")
-            table = build_pair_table(
-                self.tech, self.tech.via(via_a), self.tech.via(via_b), same_net
-            )
+            with span(
+                "pairkernel.build",
+                via_a=via_a,
+                via_b=via_b,
+                same_net=same_net,
+            ):
+                table = build_pair_table(
+                    self.tech,
+                    self.tech.via(via_a),
+                    self.tech.via(via_b),
+                    same_net,
+                )
             self.tables[key] = table
             self.built += 1
         else:
@@ -380,10 +390,15 @@ class PairKernel:
     # -- observability -------------------------------------------------------
 
     def stats(self) -> dict:
-        """Return table counters for ``PinAccessResult.stats``."""
+        """Return table counters for ``PinAccessResult.stats``.
+
+        Keys follow the ``domain.sub.name`` contract of
+        :mod:`repro.obs.metrics` so the framework can merge them into
+        the flat stats namespace directly.
+        """
         return {
-            "mode": self.mode,
-            "tables": len(self.tables),
-            "built": self.built,
-            "preloaded": self.preloaded,
+            "pairkernel.mode": self.mode,
+            "pairkernel.tables": len(self.tables),
+            "pairkernel.built": self.built,
+            "pairkernel.preloaded": self.preloaded,
         }

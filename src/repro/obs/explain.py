@@ -1,0 +1,217 @@
+"""Replay a decision-event stream into a per-pin narrative.
+
+``repro explain INST/PIN`` answers the operational question the
+Synopsys pin-access-checker line of work made the interface: *why did
+this pin only get 2 access points?*  Given the ``repro.obs.events/v1``
+stream of a run (live, or replayed from JSONL), :func:`explain_pin`
+selects the events that concern one instance pin and renders them as
+a readable story through the three steps.
+
+Steps 1 and 2 run once per *unique instance*, in the representative's
+coordinates -- so the narrative first resolves the concrete instance
+to its unique-instance representative and reads Step 1/2 events under
+the representative's name.  Step 3 events are per concrete instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.signature import unique_instances
+
+
+def explain_pin(design, events: list, inst_name: str, pin_name: str) -> str:
+    """Render the narrative for one instance pin; raises ValueError
+    when the instance or pin does not exist in ``design``."""
+    ui = _unique_instance_of(design, inst_name)
+    rep = ui.representative
+    pins = [pin.name for pin in rep.master.signal_pins()]
+    if pin_name not in pins:
+        raise ValueError(
+            f"master {rep.master.name!r} has no signal pin {pin_name!r} "
+            f"(pins: {', '.join(sorted(pins))})"
+        )
+    dx, dy = ui.translation_to(design.instance(inst_name))
+    lines = [
+        f"pin access explanation: {inst_name}/{pin_name} "
+        f"(design {design.name})",
+        f"  unique instance: master {rep.master.name}, "
+        f"{len(ui.members)} member(s), representative {rep.name}"
+        + (
+            ""
+            if (dx, dy) == (0, 0)
+            else f", {inst_name} offset ({dx}, {dy})"
+        ),
+        "",
+    ]
+    lines.extend(_step1_section(events, rep.name, pin_name))
+    lines.extend(_step2_section(events, rep.name, pin_name))
+    lines.extend(_step3_section(events, inst_name, pin_name))
+    return "\n".join(lines)
+
+
+def _unique_instance_of(design, inst_name: str):
+    try:
+        design.instance(inst_name)
+    except KeyError:
+        raise ValueError(f"design has no instance {inst_name!r}") from None
+    for ui in unique_instances(design):
+        for member in ui.members:
+            if member.name == inst_name:
+                return ui
+    raise ValueError(f"instance {inst_name!r} not in any unique instance")
+
+
+def _coord_types(event: dict) -> str:
+    return f"pref={event.get('t0', '?')}, nonpref={event.get('t1', '?')}"
+
+
+def _step1_section(events, rep_name, pin_name) -> list:
+    mine = [
+        e
+        for e in events
+        if e["kind"] in ("ap.accept", "ap.reject")
+        and e.get("inst") == rep_name
+        and e.get("pin") == pin_name
+    ]
+    lines = ["Step 1 -- access point generation "
+             "(representative coordinates):"]
+    if not mine:
+        lines.append(
+            "  no candidate events recorded (cached Steps 1-2 skip "
+            "generation; re-run without a warm cache)"
+        )
+        lines.append("")
+        return lines
+    accepted = 0
+    rejected_by_rule = {}
+    for event in mine:
+        where = f"({event['x']}, {event['y']})"
+        if event["kind"] == "ap.accept":
+            accepted += 1
+            vias = ", ".join(event.get("vias") or ()) or "none"
+            planar = ", ".join(event.get("planar") or ()) or "none"
+            lines.append(
+                f"  accepted {where} [{_coord_types(event)}] "
+                f"on {event.get('layer')}: vias {vias}; planar {planar}"
+            )
+        else:
+            rule = event.get("rule", "?")
+            rejected_by_rule[rule] = rejected_by_rule.get(rule, 0) + 1
+            layer = event.get("rule_layer") or event.get("layer")
+            lines.append(
+                f"  rejected {where} [{_coord_types(event)}]: "
+                f"via {event.get('via')} violates {rule} on {layer}"
+            )
+    tally = ", ".join(
+        f"{rule} x{count}" for rule, count in sorted(rejected_by_rule.items())
+    )
+    lines.append(
+        f"  => {accepted} access point(s) accepted, "
+        f"{sum(rejected_by_rule.values())} via rejection(s)"
+        + (f" ({tally})" if tally else "")
+    )
+    lines.append("")
+    return lines
+
+
+def _step2_section(events, rep_name, pin_name) -> list:
+    lines = ["Step 2 -- access pattern generation (unique instance):"]
+    patterns = [
+        e
+        for e in events
+        if e["kind"] == "pattern.generated" and e.get("inst") == rep_name
+    ]
+    edges = [
+        e
+        for e in events
+        if e["kind"] == "dp.edge.penalized"
+        and e.get("inst") == rep_name
+        and pin_name in (e.get("pin_a"), e.get("pin_b"))
+    ]
+    if not patterns and not edges:
+        lines.append("  no pattern events recorded")
+        lines.append("")
+        return lines
+    for event in edges:
+        lines.append(
+            f"  DP edge {event.get('pin_a')}@({event.get('ax')}, "
+            f"{event.get('ay')}) -> {event.get('pin_b')}@"
+            f"({event.get('bx')}, {event.get('by')}) costed "
+            f"{event.get('cost')} ({event.get('reason')})"
+        )
+    covering = 0
+    for event in patterns:
+        pins = event.get("pins") or {}
+        covered = pin_name in pins
+        covering += covered
+        spot = (
+            f", {pin_name} at ({pins[pin_name][0]}, {pins[pin_name][1]})"
+            if covered
+            else f", {pin_name} not covered"
+        )
+        clean = "clean" if event.get("clean") else "dirty"
+        lines.append(
+            f"  pattern #{event.get('index')}: cost {event.get('cost')}, "
+            f"{clean}{spot}"
+        )
+    if patterns:
+        lines.append(
+            f"  => {pin_name} covered by {covering} of "
+            f"{len(patterns)} pattern(s)"
+        )
+    lines.append("")
+    return lines
+
+
+def _step3_section(events, inst_name, pin_name) -> list:
+    lines = [f"Step 3 -- cluster selection (instance {inst_name}):"]
+    selected = [
+        e
+        for e in events
+        if e["kind"] == "cluster.selected" and e.get("inst") == inst_name
+    ]
+    conflicts = [
+        e
+        for e in events
+        if e["kind"] == "cluster.conflict"
+        and (
+            (e.get("inst_a") == inst_name and e.get("pin_a") == pin_name)
+            or (e.get("inst_b") == inst_name and e.get("pin_b") == pin_name)
+        )
+    ]
+    repairs = [
+        e
+        for e in events
+        if e["kind"] == "cluster.repair"
+        and e.get("inst") == inst_name
+        and e.get("pin") == pin_name
+    ]
+    if not selected and not conflicts and not repairs:
+        lines.append("  no selection events recorded")
+        return lines
+    for event in selected:
+        if event.get("cost") is None:
+            lines.append("  no selectable pattern for this instance")
+        else:
+            lines.append(
+                f"  selected pattern cost {event.get('cost')} "
+                f"covering {event.get('pins')} pin(s)"
+            )
+    for event in repairs:
+        lines.append(
+            f"  repair: {pin_name} moved from "
+            f"({event.get('from_x')}, {event.get('from_y')}) to "
+            f"({event.get('to_x')}, {event.get('to_y')})"
+        )
+    if conflicts:
+        for event in conflicts:
+            other = (
+                f"{event.get('inst_b')}/{event.get('pin_b')}"
+                if event.get("inst_a") == inst_name
+                else f"{event.get('inst_a')}/{event.get('pin_a')}"
+            )
+            lines.append(
+                f"  residual boundary conflict with {other}"
+            )
+    else:
+        lines.append(f"  residual conflicts involving {pin_name}: none")
+    return lines

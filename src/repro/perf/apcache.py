@@ -49,7 +49,18 @@ CACHE_FORMAT_VERSION = 2
 # equivalent to the engine (verify mode raises on any divergence), so
 # switching backends must keep hitting the same cache entries.
 PERF_ONLY_FIELDS = frozenset(
-    {"jobs", "cache_dir", "profile", "paircheck_mode"}
+    {
+        "jobs",
+        "cache_dir",
+        "profile",
+        "paircheck_mode",
+        # Observability knobs: telemetry only, results are identical
+        # with any combination enabled.
+        "trace",
+        "trace_out",
+        "metrics_out",
+        "explain",
+    }
 )
 
 # Sibling file of the per-signature entries holding the pair kernel's

@@ -1,116 +1,38 @@
-"""Hot-path profiling hooks: cheap counters and wall-time buckets.
+"""Hot-path profiling hooks -- now a thin shim over ``repro.obs``.
 
-The DRC engine, the spatial index and the DP caches call :func:`tick`
-on their hot paths.  When no profiler is active (the default) a tick
-is a single global load and a falsy test; activating a
-:class:`Profiler` turns the same calls into counter increments.  The
-framework activates a profiler when ``PaafConfig.profile`` is set and
-folds the counts -- together with worker-process snapshots returned by
-the parallel tasks -- into ``PinAccessResult.stats``.
+Historically this module owned the ``Profiler`` counter/timer bag and
+a module-global active slot.  The observability subsystem
+(:mod:`repro.obs.metrics`) subsumed it: ``Profiler`` *is* the typed
+:class:`~repro.obs.metrics.MetricsRegistry` (same ``counters`` /
+``timers`` attributes, same ``incr`` / ``add_time`` / ``time`` /
+``merge`` / ``snapshot`` surface, plus gauges and histograms), and
+the active slot moved from a module global to a context variable so
+nested or concurrent activations -- threads, in-process worker tasks,
+the span stack -- cannot cross-contaminate.
 
-This module deliberately imports nothing from the rest of the package
-so the lowest layers (``repro.geom``, ``repro.drc``) can depend on it
-without cycles.
+Every historical entry point keeps working with identical semantics
+(`tick` is still one load and a falsy test when nothing is active);
+new code should import from :mod:`repro.obs.metrics` directly.
 """
 
 from __future__ import annotations
 
-import time
-from collections import Counter
-from contextlib import contextmanager
+from repro.obs.metrics import (
+    MetricsRegistry as Profiler,
+    activate,
+    active_registry as active_profiler,
+    collecting as profiled,
+    deactivate,
+    tick,
+    timed,
+)
 
-
-class Profiler:
-    """A bag of named counters and accumulated wall-time buckets."""
-
-    __slots__ = ("counters", "timers")
-
-    def __init__(self):
-        self.counters = Counter()
-        self.timers = {}
-
-    def incr(self, name: str, n: int = 1) -> None:
-        """Add ``n`` to counter ``name``."""
-        self.counters[name] += n
-
-    def add_time(self, name: str, seconds: float) -> None:
-        """Accumulate ``seconds`` into timer bucket ``name``."""
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
-
-    @contextmanager
-    def time(self, name: str):
-        """Context manager accumulating the block's wall time."""
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - t0)
-
-    def merge(self, snapshot: dict) -> None:
-        """Fold a :meth:`snapshot` (e.g. from a worker process) in."""
-        for name, count in snapshot.get("counters", {}).items():
-            self.counters[name] += count
-        for name, seconds in snapshot.get("timers", {}).items():
-            self.add_time(name, seconds)
-
-    def snapshot(self) -> dict:
-        """Return a plain-dict copy safe to pickle across processes."""
-        return {
-            "counters": dict(self.counters),
-            "timers": dict(self.timers),
-        }
-
-
-_ACTIVE = None
-
-
-def activate(profiler: Profiler = None) -> Profiler:
-    """Install ``profiler`` (or a fresh one) as the active profiler."""
-    global _ACTIVE
-    _ACTIVE = profiler if profiler is not None else Profiler()
-    return _ACTIVE
-
-
-def deactivate() -> Profiler:
-    """Remove and return the active profiler (None if none)."""
-    global _ACTIVE
-    profiler, _ACTIVE = _ACTIVE, None
-    return profiler
-
-
-def active_profiler() -> Profiler:
-    """Return the active profiler, or None."""
-    return _ACTIVE
-
-
-def tick(name: str, n: int = 1) -> None:
-    """Increment a counter on the active profiler; no-op otherwise."""
-    profiler = _ACTIVE
-    if profiler is not None:
-        profiler.counters[name] += n
-
-
-@contextmanager
-def timed(name: str):
-    """Time a block into the active profiler; near-free when inactive."""
-    profiler = _ACTIVE
-    if profiler is None:
-        yield
-        return
-    t0 = time.perf_counter()
-    try:
-        yield
-    finally:
-        profiler.add_time(name, time.perf_counter() - t0)
-
-
-@contextmanager
-def profiled(profiler: Profiler = None):
-    """Activate a profiler for the block, restoring the previous one."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = profiler if profiler is not None else Profiler()
-    try:
-        yield _ACTIVE
-    finally:
-        _ACTIVE = previous
+__all__ = [
+    "Profiler",
+    "activate",
+    "active_profiler",
+    "deactivate",
+    "profiled",
+    "tick",
+    "timed",
+]

@@ -31,7 +31,8 @@ from repro.core.signature import unique_instances
 from repro.drc.context import ShapeContext
 from repro.drc.engine import DrcEngine
 from repro.drc.pairkernel import PairKernel
-from repro.perf.profile import profiled
+from repro.obs.collect import Collector
+from repro.obs.trace import span
 
 
 class WorkerState:
@@ -102,7 +103,7 @@ def compute_unique_access(design, engine, config, ui, kernel=None) -> tuple:
     t1 = time.perf_counter()
     patterns = AccessPatternGenerator(
         design.tech, engine, config, kernel=kernel
-    ).generate(aps_by_pin)
+    ).generate(aps_by_pin, label=rep.name)
     t2 = time.perf_counter()
     return aps_by_pin, patterns, t1 - t0, t2 - t1
 
@@ -111,22 +112,34 @@ def step12_task(index: int) -> tuple:
     """Run fused Step 1 + 2 for unique instance ``index``.
 
     Returns ``(index, aps_by_pin, patterns, step1_s, step2_s,
-    profile_snapshot_or_None)``.
+    obs_snapshot_or_None)``.  The snapshot is the task's
+    :meth:`repro.obs.collect.Collector.snapshot` -- metrics, span
+    buffer and decision events -- which the parent merges back in
+    deterministic task order.  Entering the task collector shadows
+    any parent-context sinks (context-local activation), so the
+    ``jobs=1`` in-process path produces exactly the per-task streams
+    a worker process would.
     """
     state = _STATE
     ui = state.uniques[index]
-    if state.profile:
-        with profiled() as prof:
-            aps_by_pin, patterns, s1, s2 = compute_unique_access(
-                state.design, state.engine, state.config, ui, state.kernel
-            )
-        snapshot = prof.snapshot()
-    else:
+    collector = Collector.from_config(state.config, profile=state.profile)
+    if not collector.enabled:
         aps_by_pin, patterns, s1, s2 = compute_unique_access(
             state.design, state.engine, state.config, ui, state.kernel
         )
-        snapshot = None
-    return index, aps_by_pin, patterns, s1, s2, snapshot
+        return index, aps_by_pin, patterns, s1, s2, None
+    with collector:
+        with span(
+            "step12.unique",
+            index=index,
+            master=ui.master_name,
+            rep=ui.representative.name,
+            members=len(ui.members),
+        ):
+            aps_by_pin, patterns, s1, s2 = compute_unique_access(
+                state.design, state.engine, state.config, ui, state.kernel
+            )
+    return index, aps_by_pin, patterns, s1, s2, collector.snapshot()
 
 
 def step3_task(payload: dict) -> tuple:
@@ -146,17 +159,25 @@ def step3_task(payload: dict) -> tuple:
     * ``aps`` -- instance name -> Step 1 ``aps_by_pin`` powering the
       conflict-repair post-pass, or None when BCA is off.
 
-    Returns ``(per_cluster, profile_snapshot_or_None)`` where
+    Returns ``(per_cluster, obs_snapshot_or_None)`` where
     ``per_cluster`` is a list of ``(cluster_index, selections,
     conflicts)`` and each selection is the lean transport triple
-    ``(inst_name, pattern_index_or_None, overrides)``.
+    ``(inst_name, pattern_index_or_None, overrides)``.  The snapshot
+    carries the task's metrics/spans/events exactly like
+    :func:`step12_task`.
     """
     state = _STATE
-    if state.profile:
-        with profiled() as prof:
+    collector = Collector.from_config(state.config, profile=state.profile)
+    if not collector.enabled:
+        return _run_step3_component(state, payload), None
+    with collector:
+        with span(
+            "step3.component",
+            clusters=len(payload["clusters"]),
+            first=payload["clusters"][0] if payload["clusters"] else None,
+        ):
             per_cluster = _run_step3_component(state, payload)
-        return per_cluster, prof.snapshot()
-    return _run_step3_component(state, payload), None
+    return per_cluster, collector.snapshot()
 
 
 def _run_step3_component(state, payload) -> list:

@@ -177,7 +177,10 @@ class TestModes:
         kernel.table("V12_P", "V12_P")
         stats = kernel.stats()
         assert stats == {
-            "mode": "kernel", "tables": 1, "built": 1, "preloaded": False,
+            "pairkernel.mode": "kernel",
+            "pairkernel.tables": 1,
+            "pairkernel.built": 1,
+            "pairkernel.preloaded": False,
         }
 
 
@@ -261,9 +264,8 @@ class TestEndToEndModes:
         for mode in ("kernel", "verify"):
             snapshot, result = self._access_snapshot(n45, mode)
             assert snapshot == reference
-            assert result.stats["pairkernel"]["mode"] == mode
+            assert result.stats["pairkernel.mode"] == mode
 
     def test_kernel_stats_reported(self, n45):
         _, result = self._access_snapshot(n45, "kernel")
-        stats = result.stats["pairkernel"]
-        assert stats["tables"] == 2 * len(n45.vias) ** 2
+        assert result.stats["pairkernel.tables"] == 2 * len(n45.vias) ** 2

@@ -1,0 +1,209 @@
+"""End-to-end tests for `repro explain` and the decision narrative.
+
+A hand-written LEF places a metal1 obstruction one track above pin A,
+so the via candidate at the pin's top on-track point fails metal
+spacing -- a *known, forced* DRC rejection.  The narrative must name
+the rule and the rejected candidate's coordinate types, and the CLI
+must replay a saved ``repro.obs.events/v1`` stream to the same story.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core import PinAccessFramework
+from repro.core.config import PaafConfig
+from repro.lefdef import parse_def, parse_lef
+from repro.obs.explain import explain_pin
+
+# AND2-like cell whose pin A has on-track via candidates at
+# (600, 1000), (600, 1400), (600, 1800); the metal1 OBS strip at
+# y 1.0-1.1 um sits within metal spacing (0.1 um) of the via's bottom
+# enclosure at the (600, 1800) = (0.3, 0.9) um candidate only.
+OBS_LEF = """
+VERSION 5.8 ;
+UNITS
+  DATABASE MICRONS 2000 ;
+END UNITS
+MANUFACTURINGGRID 0.005 ;
+
+SITE core
+  CLASS CORE ;
+  SIZE 0.2 BY 1.8 ;
+END core
+
+LAYER metal1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 0.2 ;
+  OFFSET 0.1 ;
+  WIDTH 0.1 ;
+  SPACINGTABLE
+    PARALLELRUNLENGTH 0 0.5
+    WIDTH 0 0.1 0.1
+    WIDTH 0.3 0.1 0.2 ;
+END metal1
+
+LAYER cut1
+  TYPE CUT ;
+  SPACING 0.1 ;
+END cut1
+
+LAYER metal2
+  TYPE ROUTING ;
+  DIRECTION VERTICAL ;
+  PITCH 0.2 ;
+  OFFSET 0.1 ;
+  WIDTH 0.1 ;
+END metal2
+
+VIA cutvia DEFAULT
+  LAYER metal1 ;
+    RECT -0.1 -0.05 0.1 0.05 ;
+  LAYER cut1 ;
+    RECT -0.05 -0.05 0.05 0.05 ;
+  LAYER metal2 ;
+    RECT -0.05 -0.1 0.05 0.1 ;
+END cutvia
+
+MACRO AND2
+  CLASS CORE ;
+  ORIGIN 0 0 ;
+  SIZE 0.6 BY 1.8 ;
+  SITE core ;
+  PIN A
+    DIRECTION INPUT ;
+    USE SIGNAL ;
+    PORT
+      LAYER metal1 ;
+        RECT 0.1 0.5 0.2 0.9 ;
+        RECT 0.1 0.5 0.35 0.6 ;
+    END
+  END A
+  OBS
+    LAYER metal1 ;
+      RECT 0.0 1.0 0.6 1.1 ;
+  END
+END AND2
+
+END LIBRARY
+"""
+
+OBS_DEF = """
+VERSION 5.8 ;
+DESIGN handmade ;
+UNITS DISTANCE MICRONS 2000 ;
+DIEAREA ( 0 0 ) ( 10000 10000 ) ;
+
+ROW r0 core 0 0 N DO 25 BY 1 STEP 400 0 ;
+
+TRACKS Y 200 DO 25 STEP 400 LAYER metal1 ;
+TRACKS X 200 DO 25 STEP 400 LAYER metal2 ;
+
+COMPONENTS 1 ;
+- u1 AND2 + PLACED ( 400 0 ) N ;
+END COMPONENTS
+
+NETS 1 ;
+- n1 ( u1 A ) ;
+END NETS
+
+END DESIGN
+"""
+
+
+@pytest.fixture(scope="module")
+def design():
+    tech, masters = parse_lef(OBS_LEF, name="hand")
+    return parse_def(OBS_DEF, tech, masters)
+
+
+@pytest.fixture(scope="module")
+def result(design):
+    return PinAccessFramework(design, PaafConfig(explain=True)).run()
+
+
+@pytest.fixture(scope="module")
+def lefdef_pair(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("explain")
+    lef = tmp / "obs.lef"
+    deff = tmp / "obs.def"
+    lef.write_text(OBS_LEF)
+    deff.write_text(OBS_DEF)
+    return str(lef), str(deff)
+
+
+class TestForcedRejection:
+    def test_event_carries_rule_and_coord_types(self, result):
+        rejects = [
+            e for e in result.events.events if e["kind"] == "ap.reject"
+        ]
+        assert len(rejects) == 1
+        (event,) = rejects
+        assert event["inst"] == "u1" and event["pin"] == "A"
+        assert (event["x"], event["y"]) == (600, 1800)
+        assert event["rule"] == "metal-spacing"
+        assert event["rule_layer"] == "metal1"
+        assert event["via"] == "cutvia"
+        assert event["t0"] == "on_track" and event["t1"] == "on_track"
+
+    def test_narrative_names_rule_and_coord_type(self, design, result):
+        text = explain_pin(design, result.events.events, "u1", "A")
+        assert (
+            "rejected (600, 1800) [pref=on_track, nonpref=on_track]: "
+            "via cutvia violates metal-spacing on metal1" in text
+        )
+        assert "metal-spacing x1" in text
+        # The accepted candidates and the final selection also narrate.
+        assert "accepted (600, 1000)" in text
+        assert "selected pattern cost" in text
+
+    def test_unknown_inst_and_pin_raise(self, design, result):
+        with pytest.raises(ValueError, match="no instance"):
+            explain_pin(design, result.events.events, "nope", "A")
+        with pytest.raises(ValueError, match="no signal pin"):
+            explain_pin(design, result.events.events, "u1", "ZZ")
+
+
+class TestExplainCli:
+    def test_explain_reruns_and_narrates(self, lefdef_pair, capsys):
+        lef, deff = lefdef_pair
+        code = main(
+            ["explain", "--lef", lef, "--def", deff, "u1/A"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pin access explanation: u1/A" in out
+        assert "metal-spacing" in out
+        assert "pref=on_track" in out
+
+    def test_explain_replays_saved_events(self, lefdef_pair, tmp_path,
+                                          capsys):
+        lef, deff = lefdef_pair
+        events_path = str(tmp_path / "events.jsonl")
+        code = main(
+            ["analyze", "--lef", lef, "--def", deff,
+             "--explain", events_path]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            ["explain", "--lef", lef, "--def", deff,
+             "--events", events_path, "u1/A"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "violates metal-spacing" in out
+
+    def test_bad_target_and_missing_events_fail_cleanly(
+        self, lefdef_pair, tmp_path, capsys
+    ):
+        lef, deff = lefdef_pair
+        assert main(
+            ["explain", "--lef", lef, "--def", deff, "u1A"]
+        ) == 2
+        assert "INSTANCE/PIN" in capsys.readouterr().err
+        assert main(
+            ["explain", "--lef", lef, "--def", deff,
+             "--events", str(tmp_path / "missing.jsonl"), "u1/A"]
+        ) == 2
+        assert "cannot read --events" in capsys.readouterr().err

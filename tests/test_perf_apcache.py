@@ -39,38 +39,38 @@ def _run(design, cache_dir, use_cache=True, **config_kwargs):
 class TestWarmRuns:
     def test_warm_run_identical_and_skips_step12(self, design, tmp_path):
         cold = _run(design, tmp_path)
-        n_uniques = cold.stats["unique_instances"]
-        assert cold.stats["apcache"]["apcache.hit"] == 0
-        assert cold.stats["apcache"]["apcache.store"] == n_uniques
-        assert cold.stats["step12_tasks"] == n_uniques
+        n_uniques = cold.stats["paaf.unique_instances"]
+        assert cold.stats["apcache.hit"] == 0
+        assert cold.stats["apcache.store"] == n_uniques
+        assert cold.stats["paaf.step12_tasks"] == n_uniques
 
         warm = _run(design, tmp_path)
-        assert warm.stats["apcache"]["apcache.hit"] == n_uniques
-        assert warm.stats["apcache"]["apcache.miss"] == 0
-        assert warm.stats["step12_tasks"] == 0  # Step 1/2 fully skipped
+        assert warm.stats["apcache.hit"] == n_uniques
+        assert warm.stats["apcache.miss"] == 0
+        assert warm.stats["paaf.step12_tasks"] == 0  # Step 1/2 fully skipped
         assert _fingerprint(warm) == _fingerprint(cold)
 
     def test_warm_run_identical_under_parallel(self, design, tmp_path):
         cold = _run(design, tmp_path, jobs=2)
         warm = _run(design, tmp_path, jobs=2)
-        assert warm.stats["step12_tasks"] == 0
+        assert warm.stats["paaf.step12_tasks"] == 0
         assert _fingerprint(warm) == _fingerprint(cold)
 
     def test_use_cache_false_bypasses(self, design, tmp_path):
         _run(design, tmp_path)
         bypass = _run(design, tmp_path, use_cache=False)
-        assert "apcache" not in bypass.stats
-        assert bypass.stats["step12_tasks"] == bypass.stats["unique_instances"]
+        assert "apcache.hit" not in bypass.stats
+        assert bypass.stats["paaf.step12_tasks"] == bypass.stats["paaf.unique_instances"]
 
 
 class TestInvalidation:
     def test_config_change_misses(self, design, tmp_path):
         cold = _run(design, tmp_path)
-        assert cold.stats["apcache"]["apcache.store"] > 0
+        assert cold.stats["apcache.store"] > 0
         changed = _run(design, tmp_path, alpha=PaafConfig().alpha + 1)
         # Different fingerprint directory: all misses, no stale hits.
-        assert changed.stats["apcache"]["apcache.hit"] == 0
-        assert changed.stats["apcache"]["apcache.miss"] > 0
+        assert changed.stats["apcache.hit"] == 0
+        assert changed.stats["apcache.miss"] > 0
 
     def test_perf_only_knobs_share_fingerprint(self, design):
         base = PaafConfig()
@@ -100,11 +100,11 @@ class TestInvalidation:
             with open(path, "wb") as handle:
                 handle.write(b"not a pickle" if i % 2 else b"garbage\n")
         recovered = _run(design, tmp_path)
-        assert recovered.stats["apcache"]["apcache.hit"] == 0
-        assert recovered.stats["apcache"]["apcache.miss"] > 0
+        assert recovered.stats["apcache.hit"] == 0
+        assert recovered.stats["apcache.miss"] > 0
         # And it re-stores good entries over the corrupt ones.
         warm = _run(design, tmp_path)
-        assert warm.stats["apcache"]["apcache.hit"] > 0
+        assert warm.stats["apcache.hit"] > 0
 
 
 def _entry_paths(cache_dir):
@@ -135,16 +135,16 @@ class TestStaleDetection:
             pickle.dump(entry, handle, protocol=4)
 
         warm = _run(design, tmp_path)
-        stats = warm.stats["apcache"]
+        stats = warm.stats
         assert stats["apcache.stale"] == 1
         assert stats["apcache.miss"] == 1
-        assert stats["apcache.hit"] == warm.stats["unique_instances"] - 1
+        assert stats["apcache.hit"] == warm.stats["paaf.unique_instances"] - 1
         assert _fingerprint(warm) == _fingerprint(cold)
 
         # The recomputed entry was re-stored over the tampered one.
         again = _run(design, tmp_path)
-        assert again.stats["apcache"]["apcache.stale"] == 0
-        assert again.stats["apcache"]["apcache.miss"] == 0
+        assert again.stats["apcache.stale"] == 0
+        assert again.stats["apcache.miss"] == 0
 
     def test_cross_fingerprint_copy_is_stale(self, design, tmp_path):
         _run(design, tmp_path)
@@ -155,12 +155,12 @@ class TestStaleDetection:
         with open(path, "wb") as handle:
             pickle.dump(entry, handle, protocol=4)
         warm = _run(design, tmp_path)
-        assert warm.stats["apcache"]["apcache.stale"] == 1
+        assert warm.stats["apcache.stale"] == 1
 
     def test_clean_warm_run_reports_zero_stale(self, design, tmp_path):
         _run(design, tmp_path)
         warm = _run(design, tmp_path)
-        assert warm.stats["apcache"]["apcache.stale"] == 0
+        assert warm.stats["apcache.stale"] == 0
 
 
 class TestPairTableCorruption:
@@ -178,21 +178,20 @@ class TestPairTableCorruption:
             handle.write(data[: len(data) // 2])
 
         warm = _run(design, tmp_path)
-        kernel = warm.stats["pairkernel"]
-        assert not kernel["preloaded"]
-        assert kernel["built"] > 0
+        assert not warm.stats["pairkernel.preloaded"]
+        assert warm.stats["pairkernel.built"] > 0
         assert _fingerprint(warm) == _fingerprint(cold)
 
         # The rebuild re-persisted the tables: next run preloads.
         again = _run(design, tmp_path)
-        assert again.stats["pairkernel"]["preloaded"]
+        assert again.stats["pairkernel.preloaded"]
 
     def test_garbage_tables_rebuild_cold(self, design, tmp_path):
         cold = _run(design, tmp_path)
         with open(self._tables_path(tmp_path), "wb") as handle:
             handle.write(b"not a pickle")
         warm = _run(design, tmp_path)
-        assert not warm.stats["pairkernel"]["preloaded"]
+        assert not warm.stats["pairkernel.preloaded"]
         assert _fingerprint(warm) == _fingerprint(cold)
 
     def test_wrong_fingerprint_tables_rejected(self, tmp_path):

@@ -94,21 +94,24 @@ class TestProfiler:
 
     def test_profiled_collects_and_restores(self):
         with profiled() as prof:
-            tick("a")
-            tick("a", 2)
-            with prof.time("t"):
+            tick("test.a")
+            tick("test.a", 2)
+            with prof.time("test.t"):
                 pass
-        assert prof.counters["a"] == 3
-        assert prof.timers["t"] >= 0
-        tick("a")  # deactivated again
-        assert prof.counters["a"] == 3
+        assert prof.counters["test.a"] == 3
+        assert prof.timers["test.t"] >= 0
+        tick("test.a")  # deactivated again
+        assert prof.counters["test.a"] == 3
 
     def test_merge_snapshot(self):
         prof = Profiler()
-        prof.incr("x", 5)
-        prof.merge({"counters": {"x": 2, "y": 1}, "timers": {"t": 0.5}})
-        assert prof.counters == {"x": 7, "y": 1}
-        assert prof.timers["t"] == 0.5
+        prof.incr("test.x", 5)
+        prof.merge({
+            "counters": {"test.x": 2, "test.y": 1},
+            "timers": {"test.t": 0.5},
+        })
+        assert prof.counters == {"test.x": 7, "test.y": 1}
+        assert prof.timers["test.t"] == 0.5
 
 
 def _fingerprint(result):
@@ -168,11 +171,19 @@ class TestFrameworkDeterminism:
         """Clusters linked by multi-height cells keep pinning intact."""
         serial = PinAccessFramework(mh_design).run(jobs=1)
         parallel = PinAccessFramework(mh_design).run(jobs=2)
-        assert serial.stats["cluster_components"] < serial.stats["clusters"]
+        assert (
+            serial.stats["paaf.cluster_components"]
+            < serial.stats["paaf.clusters"]
+        )
         assert _fingerprint(parallel) == _fingerprint(serial)
 
     def test_timings_and_stats_populated(self, test1):
         result = PinAccessFramework(test1).run(jobs=2)
         assert set(result.timings) == {"step1", "step2", "step3", "total"}
-        assert result.stats["unique_instances"] == len(result.unique_accesses)
-        assert result.stats["step12_tasks"] == len(result.unique_accesses)
+        assert (
+            result.stats["paaf.unique_instances"]
+            == len(result.unique_accesses)
+        )
+        assert (
+            result.stats["paaf.step12_tasks"] == len(result.unique_accesses)
+        )
