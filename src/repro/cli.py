@@ -10,6 +10,10 @@ The deployment surface a downstream user drives:
 * ``render``   -- draw the pin access view of a LEF/DEF pair as SVG.
 * ``qa``       -- golden-result regression gates: ``snapshot``,
   ``check``, ``accept`` and ``diff`` over the committed corpus.
+* ``serve``    -- host the analyzed design as a long-lived daemon
+  (the ``repro.serve/v1`` protocol over TCP or a Unix socket).
+* ``query``    -- client for a running daemon: pin queries, placement
+  edits, stats/health/metrics scrapes and graceful shutdown.
 
 User-facing failures (unreadable inputs, bad option values) exit
 non-zero with a one-line message; tracebacks are reserved for bugs.
@@ -154,6 +158,56 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ste.set_defaults(handler=_cmd_suite)
 
+    srv = sub.add_parser(
+        "serve",
+        help="host a design as a long-lived pin access daemon",
+    )
+    _add_io_args(srv)
+    srv.add_argument("--design", help="session name (default: design name)")
+    _add_endpoint_args(srv)
+    srv.add_argument("--cache-dir",
+                     help="persistent AP cache: restart = cache load, "
+                          "not re-analysis")
+    srv.add_argument("-j", "--jobs", type=_job_count, default=1,
+                     help="worker processes for the initial analysis "
+                          "(0 = all cores)")
+    srv.add_argument("--max-clients", type=int, default=32,
+                     help="concurrent connection cap (excess get an "
+                          "'overloaded' error)")
+    srv.add_argument("--request-timeout", type=float, default=30.0,
+                     help="per-connection idle/read timeout in seconds")
+    srv.add_argument("--drain-seconds", type=float, default=5.0,
+                     help="grace period for in-flight requests on "
+                          "shutdown")
+    srv.add_argument("--no-load", action="store_true",
+                     help="refuse client load_design requests")
+    srv.set_defaults(handler=_cmd_serve)
+
+    qry = sub.add_parser(
+        "query",
+        help="query a running pin access daemon",
+    )
+    qry.add_argument("targets", nargs="*", metavar="INST/PIN",
+                     help="instance pins to query, e.g. u42/A")
+    _add_endpoint_args(qry)
+    qry.add_argument("--design", help="session name (optional when the "
+                                      "daemon hosts exactly one)")
+    qry.add_argument("--move", nargs=3, metavar=("INST", "X", "Y"),
+                     help="move an instance before querying")
+    qry.add_argument("--stats", action="store_true",
+                     help="print server + session statistics")
+    qry.add_argument("--health", action="store_true",
+                     help="print the liveness probe")
+    qry.add_argument("--metrics", action="store_true",
+                     help="print the Prometheus metrics exposition")
+    qry.add_argument("--shutdown", action="store_true",
+                     help="ask the daemon to drain and exit")
+    qry.add_argument("--json", dest="as_json", action="store_true",
+                     help="print raw wire payloads as JSON")
+    qry.add_argument("--timeout", type=float, default=30.0,
+                     help="request timeout in seconds")
+    qry.set_defaults(handler=_cmd_query)
+
     qa = sub.add_parser(
         "qa",
         help="golden-result regression gates (snapshot/check/accept/diff)",
@@ -235,6 +289,27 @@ def _add_io_args(sub_parser) -> None:
     sub_parser.add_argument("--lef", required=True, help="input LEF path")
     sub_parser.add_argument("--def", dest="def_path", required=True,
                             help="input DEF path")
+
+
+def _add_endpoint_args(sub_parser) -> None:
+    sub_parser.add_argument("--socket", dest="socket_path",
+                            help="Unix domain socket path")
+    sub_parser.add_argument("--host", default="127.0.0.1",
+                            help="TCP bind/connect host (with --port)")
+    sub_parser.add_argument("--port", type=int,
+                            help="TCP port (mutually exclusive with "
+                                 "--socket)")
+
+
+def _endpoint(args) -> tuple:
+    """Resolve --socket / --host+--port into a serve address tuple."""
+    if args.socket_path and args.port is not None:
+        raise CliError("--socket and --port are mutually exclusive")
+    if args.socket_path:
+        return ("unix", args.socket_path)
+    if args.port is not None:
+        return ("tcp", args.host, args.port)
+    raise CliError("an endpoint is required: --socket PATH or --port N")
 
 
 def _load(args):
@@ -407,6 +482,158 @@ def _cmd_route(args) -> int:
             handle.write(render_routing(design, result, drcs))
         print(f"wrote {args.svg}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Analyze a design and host it as a pin access daemon."""
+    from repro.serve import DesignSession, OracleServer
+
+    design = _load(args)
+    config = PaafConfig(jobs=args.jobs, cache_dir=args.cache_dir)
+    try:
+        session = DesignSession(
+            args.design or design.name, design, config
+        )
+    except OSError as exc:
+        raise CliError(
+            f"cannot use cache dir {args.cache_dir!r}: {exc}"
+        ) from exc
+    cache = session.inc.framework.cache
+    warmth = (
+        f", apcache entries={cache.entry_count()}"
+        if cache is not None
+        else ""
+    )
+    server = OracleServer(
+        _endpoint(args),
+        max_clients=args.max_clients,
+        request_timeout=args.request_timeout,
+        drain_seconds=args.drain_seconds,
+        allow_load=not args.no_load,
+    )
+    server.add_session(session)
+    try:
+        server.start()
+    except OSError as exc:
+        raise CliError(f"cannot bind {_endpoint(args)!r}: {exc}") from exc
+    server.install_signal_handlers()
+    print(
+        f"serving {session.name!r} on {_format_endpoint(server)} "
+        f"(analyze {session.analyze_seconds:.2f}s{warmth}); "
+        "SIGTERM or 'repro query --shutdown' drains",
+        flush=True,
+    )
+    server.serve_forever()
+    print("drained, exiting")
+    return 0
+
+
+def _format_endpoint(server) -> str:
+    bound = server.bound_address
+    if bound[0] == "unix":
+        return f"unix:{bound[1]}"
+    return f"{bound[1]}:{bound[2]}"
+
+
+def _cmd_query(args) -> int:
+    """Talk to a running pin access daemon."""
+    import json
+
+    from repro.serve import ConnectionFailed, OracleClient, ServerError
+
+    actions = any(
+        (args.targets, args.move, args.stats, args.health,
+         args.metrics, args.shutdown)
+    )
+    if not actions:
+        raise CliError(
+            "nothing to do: give INST/PIN targets or one of --move/"
+            "--stats/--health/--metrics/--shutdown"
+        )
+    targets = []
+    for target in args.targets:
+        if "/" not in target:
+            raise CliError(
+                f"target must be INSTANCE/PIN, got {target!r}"
+            )
+        targets.append(tuple(target.split("/", 1)))
+    try:
+        with OracleClient(
+            _endpoint(args), timeout=args.timeout
+        ) as client:
+            return _run_query_actions(args, client, targets, json)
+    except ConnectionFailed as exc:
+        raise CliError(str(exc)) from exc
+    except (ServerError, KeyError) as exc:
+        raise CliError(str(exc)) from exc
+    except ConnectionError as exc:
+        raise CliError(f"connection lost: {exc}") from exc
+
+
+def _run_query_actions(args, client, targets, json) -> int:
+    inaccessible = 0
+    if args.health:
+        payload = client.health()
+        if args.as_json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(
+                f"status={payload['status']} "
+                f"protocol={payload['protocol']} "
+                f"sessions={','.join(payload['sessions']) or '-'} "
+                f"uptime={payload['uptime_seconds']}s"
+            )
+    if args.move:
+        inst, x_text, y_text = args.move
+        try:
+            x, y = int(x_text), int(y_text)
+        except ValueError:
+            raise CliError(
+                f"--move coordinates must be integers, got "
+                f"{x_text!r} {y_text!r}"
+            ) from None
+        payload = client.move_instance(inst, x, y, design=args.design)
+        if args.as_json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(
+                f"moved {inst} -> ({x}, {y}); generation "
+                f"{payload['generation']} in "
+                f"{payload['update_seconds']}s"
+            )
+    if targets:
+        answers = client.query_batch(targets, design=args.design)
+        if args.as_json:
+            print(json.dumps(answers, indent=2, sort_keys=True))
+        else:
+            for answer in answers:
+                print(_format_answer(answer))
+        inaccessible = sum(
+            1 for a in answers if not a["accessible"]
+        )
+    if args.stats:
+        payload = client.stats()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.metrics:
+        print(client.metrics(), end="")
+    if args.shutdown:
+        client.shutdown()
+        print("daemon draining")
+    return 1 if inaccessible else 0
+
+
+def _format_answer(answer: dict) -> str:
+    name = f"{answer['instance']}/{answer['pin']}"
+    selected = answer["selected"]
+    alts = len(answer["alternatives"])
+    if selected is None:
+        return f"{name}: no access ({alts} alternatives)"
+    via = selected["vias"][0] if selected["vias"] else "planar"
+    return (
+        f"{name}: ({selected['x']}, {selected['y']}) "
+        f"{selected['layer']} via={via} "
+        f"[{alts} alternatives, gen {answer['generation']}]"
+    )
 
 
 def _cmd_suite(args) -> int:

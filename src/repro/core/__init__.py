@@ -33,7 +33,12 @@ from repro.core.config import PaafConfig
 from repro.core.baseline import LegacyPinAccess
 from repro.core.incremental import IncrementalPinAccess
 from repro.core.ioaccess import IoPinAccess
-from repro.core.oracle import PinAccessAnswer, PinAccessOracle
+from repro.core.oracle import (
+    PinAccessAnswer,
+    PinAccessOracle,
+    UnknownInstanceError,
+    UnknownPinError,
+)
 
 __all__ = [
     "UniqueInstance",
@@ -54,4 +59,6 @@ __all__ = [
     "IoPinAccess",
     "PinAccessOracle",
     "PinAccessAnswer",
+    "UnknownInstanceError",
+    "UnknownPinError",
 ]

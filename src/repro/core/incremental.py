@@ -32,6 +32,7 @@ from repro.core.framework import (
     PinAccessFramework,
     UniqueInstanceAccess,
 )
+from repro.core.oracle import UnknownInstanceError
 from repro.core.signature import UniqueInstance, instance_signature
 from repro.db.design import Design
 from repro.geom.point import Point
@@ -45,6 +46,15 @@ class IncrementalPinAccess:
         self.config = config or PaafConfig()
         self.framework = PinAccessFramework(design, self.config)
         self._ua_by_signature = {}
+        # Analysis-time origin of each cached unique access: the
+        # representative's location when its Step 1/2 geometry was
+        # computed.  Translations MUST use this, not the live
+        # ``representative.location`` -- when the representative itself
+        # is later moved within its signature class, the live location
+        # drifts away from the coordinates the cached APs are expressed
+        # in, and rep-relative translation would silently pin the
+        # moved instance's answers to its old placement.
+        self._ua_origin = {}
         self._selection = {}
         self._conflicts_by_cluster = {}
         self._last_update_seconds = 0.0
@@ -58,6 +68,12 @@ class IncrementalPinAccess:
             ua.unique_instance.signature: ua
             for ua in result.unique_accesses
         }
+        for ua in result.unique_accesses:
+            rep = ua.unique_instance.representative
+            self._ua_origin[ua.unique_instance.signature] = (
+                rep.location.x,
+                rep.location.y,
+            )
         self._selection = dict(result.selection.selection)
         self._conflicts_by_cluster = {}
         for cluster in self.design.row_clusters():
@@ -83,6 +99,27 @@ class IncrementalPinAccess:
             out.extend(conflicts)
         return out
 
+    def unique_access_of(self, inst) -> UniqueInstanceAccess:
+        """Return the Step 1/2 results covering ``inst``.
+
+        Analyzes (or loads from the persistent AP cache) on first
+        sight of a signature; subsequent lookups are a dict hit.  The
+        serving layer uses this to enumerate every instance's
+        alternative access points when publishing a snapshot.
+        """
+        return self._ua_of(inst)
+
+    def translation_of(self, inst) -> tuple:
+        """Return ``(dx, dy)`` mapping cached AP coords onto ``inst``.
+
+        Relative to the unique access's *analysis-time* origin (see
+        ``_ua_origin``), which stays correct even after the
+        representative itself has been moved.
+        """
+        ua = self._ua_of(inst)
+        ox, oy = self._ua_origin[ua.unique_instance.signature]
+        return (inst.location.x - ox, inst.location.y - oy)
+
     @property
     def last_update_seconds(self) -> float:
         """Return the wall time of the most recent incremental update."""
@@ -91,9 +128,16 @@ class IncrementalPinAccess:
     # -- edits ----------------------------------------------------------------
 
     def move_instance(self, inst_name: str, new_location: Point) -> None:
-        """Move an instance and repair the analysis incrementally."""
+        """Move an instance and repair the analysis incrementally.
+
+        Raises :class:`~repro.core.oracle.UnknownInstanceError` (a
+        ``KeyError`` subclass) when ``inst_name`` is not in the design.
+        """
         t0 = time.perf_counter()
-        inst = self.design.instance(inst_name)
+        try:
+            inst = self.design.instance(inst_name)
+        except KeyError:
+            raise UnknownInstanceError(inst_name) from None
         affected_rows = {inst.location.y, new_location.y}
         inst.location = new_location
         self.design.invalidate_shape_index()
@@ -119,6 +163,7 @@ class IncrementalPinAccess:
         """
         ui = UniqueInstance(signature=signature, representative=inst)
         ui.members.append(inst)
+        self._ua_origin[signature] = (inst.location.x, inst.location.y)
         cache = self.framework.cache
         if cache is not None:
             hit = cache.load(ui)
@@ -164,9 +209,7 @@ class IncrementalPinAccess:
             for inst in cluster:
                 ua = self._ua_of(inst)
                 ua_by_inst[inst.name] = ua
-                rep = ua.unique_instance.representative
-                dx = inst.location.x - rep.location.x
-                dy = inst.location.y - rep.location.y
+                dx, dy = self.translation_of(inst)
                 candidates[inst.name] = [
                     SelectedAccess(inst=inst, pattern=p, dx=dx, dy=dy)
                     for p in ua.patterns

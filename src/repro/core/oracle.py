@@ -6,16 +6,49 @@ answered: *where can I land on this pin, legally?*  The
 query interface: analyze once, then ask per instance pin and get the
 selected access point plus the validated alternatives, in preference
 order.
+
+Lookup failures raise the typed :class:`UnknownInstanceError` /
+:class:`UnknownPinError` hierarchy.  Both derive from ``KeyError`` so
+pre-existing ``except KeyError`` callers keep working, and both are
+shared with the ``repro.serve`` wire protocol so an in-process caller
+and a network client see the same error taxonomy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.config import PaafConfig
-from repro.core.framework import PinAccessFramework
+from repro.core.framework import PinAccessFramework, PinAccessResult
 from repro.core.signature import instance_signature
 from repro.db.design import Design
+
+
+class UnknownInstanceError(KeyError):
+    """Query names an instance the design does not contain."""
+
+    def __init__(self, instance_name: str):
+        super().__init__(instance_name)
+        self.instance_name = instance_name
+
+    def __str__(self) -> str:
+        return f"no instance named {self.instance_name!r}"
+
+
+class UnknownPinError(KeyError):
+    """Query names a pin the instance's master does not declare."""
+
+    def __init__(self, instance_name: str, pin_name: str):
+        super().__init__((instance_name, pin_name))
+        self.instance_name = instance_name
+        self.pin_name = pin_name
+
+    def __str__(self) -> str:
+        return (
+            f"instance {self.instance_name!r} has no signal pin "
+            f"named {self.pin_name!r}"
+        )
 
 
 @dataclass
@@ -41,25 +74,50 @@ class PinAccessAnswer:
 
 
 class PinAccessOracle:
-    """Analyze once, answer pin access queries forever after."""
+    """Analyze once, answer pin access queries forever after.
 
-    def __init__(self, design: Design, config: PaafConfig = None):
+    ``result`` warm-starts the oracle from a precomputed
+    :class:`~repro.core.framework.PinAccessResult` (e.g. one produced
+    by a framework holding a persistent AP cache, or replayed by the
+    ``repro.serve`` daemon) instead of running a fresh analysis.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        config: Optional[PaafConfig] = None,
+        result: Optional[PinAccessResult] = None,
+    ):
         self.design = design
-        self.result = PinAccessFramework(design, config).run()
+        if result is None:
+            result = PinAccessFramework(design, config).run()
+        self.result = result
         self._access_map = self.result.access_map()
         self._ua_by_inst = {}
         for ua in self.result.unique_accesses:
             for member in ua.unique_instance.members:
                 self._ua_by_inst[member.name] = ua
 
-    def query(self, instance_name: str, pin_name: str) -> PinAccessAnswer:
+    def query(
+        self, instance_name: str, pin_name: str, strict: bool = False
+    ) -> PinAccessAnswer:
         """Answer for one instance pin.
 
-        Raises KeyError for unknown instances; unknown pins of known
-        instances answer with no access (robustness for callers probing
-        generated pin names).
+        Raises :class:`UnknownInstanceError` for unknown instances;
+        unknown pins of known instances answer with no access
+        (robustness for callers probing generated pin names) unless
+        ``strict`` is set, in which case a pin the instance's master
+        does not declare raises :class:`UnknownPinError` -- the
+        contract the serving layer exposes over the wire.
         """
-        inst = self.design.instance(instance_name)
+        try:
+            inst = self.design.instance(instance_name)
+        except KeyError:
+            raise UnknownInstanceError(instance_name) from None
+        if strict and not any(
+            pin.name == pin_name for pin in inst.master.signal_pins()
+        ):
+            raise UnknownPinError(instance_name, pin_name)
         selected = self._access_map.get((instance_name, pin_name))
         alternatives = []
         ua = self._ua_by_inst.get(instance_name)
@@ -89,6 +147,8 @@ class PinAccessOracle:
 
     def signature_of(self, instance_name: str) -> tuple:
         """Expose the unique-instance signature (debugging aid)."""
-        return instance_signature(
-            self.design, self.design.instance(instance_name)
-        )
+        try:
+            inst = self.design.instance(instance_name)
+        except KeyError:
+            raise UnknownInstanceError(instance_name) from None
+        return instance_signature(self.design, inst)

@@ -208,6 +208,22 @@ class AccessCache:
             "apcache.stale": self.stale,
         }
 
+    def entry_count(self) -> int:
+        """Count the persisted per-signature entries under this root.
+
+        The ``repro serve`` daemon reports this at startup so an
+        operator can tell a warm start (restart ≈ cache load) from a
+        cold analysis at a glance.
+        """
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.root)
+                if name.endswith(".pkl") and name != PAIR_TABLE_FILE
+            )
+        except OSError:
+            return 0
+
     # -- pair kernel tables --------------------------------------------------
 
     def load_pair_tables(self):

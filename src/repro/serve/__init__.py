@@ -1,0 +1,45 @@
+"""repro.serve: the pin access oracle as a long-lived service.
+
+The paper's framing is an *oracle* -- analyze once, answer "where can
+I land on this pin, legally?" forever after.  In-process that is
+:class:`~repro.core.oracle.PinAccessOracle`; this package is the same
+contract across a socket, so placement-optimization loops (the
+paper's Experiment 2 motivation) query one warm, analyzed design
+instead of each paying full import + analysis cost:
+
+* :mod:`repro.serve.protocol` -- the versioned, length-prefixed JSON
+  wire protocol (``repro.serve/v1``) with typed requests and stable
+  error codes.
+* :mod:`repro.serve.session` -- one served design: warm incremental
+  analysis behind immutable published snapshots (lock-free reads,
+  serialized edits, atomic generation swaps).
+* :mod:`repro.serve.server` -- the threaded TCP/Unix-socket daemon:
+  backpressure, timeouts, graceful drain, Prometheus metrics.
+* :mod:`repro.serve.client` -- the blocking client library behind the
+  ``repro serve`` / ``repro query`` CLI subcommands.
+"""
+
+from repro.serve.client import ConnectionFailed, OracleClient, ServerError
+from repro.serve.protocol import (
+    PROTOCOL,
+    BadRequest,
+    FrameError,
+    ProtocolError,
+    parse_address,
+)
+from repro.serve.server import OracleServer
+from repro.serve.session import DesignSession, Snapshot
+
+__all__ = [
+    "PROTOCOL",
+    "BadRequest",
+    "ConnectionFailed",
+    "DesignSession",
+    "FrameError",
+    "OracleClient",
+    "OracleServer",
+    "ProtocolError",
+    "ServerError",
+    "Snapshot",
+    "parse_address",
+]

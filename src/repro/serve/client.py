@@ -1,0 +1,255 @@
+"""Blocking client library for the ``repro.serve/v1`` daemon.
+
+:class:`OracleClient` owns one connection, retries the initial dial
+with exponential backoff (daemons take a moment to analyze or
+warm-load a design), and exposes one method per protocol operation.
+Error envelopes surface as :class:`ServerError` carrying the stable
+wire code, with the ``unknown_instance`` / ``unknown_pin`` codes also
+mapped back onto the in-process
+:class:`~repro.core.oracle.UnknownInstanceError` /
+:class:`~repro.core.oracle.UnknownPinError` types, so code written
+against the oracle migrates to the daemon without changing its
+``except`` clauses.
+
+Usage::
+
+    from repro.serve.client import OracleClient
+
+    with OracleClient(("unix", "/run/pao.sock")) as client:
+        answer = client.query("u42", "A")
+        answers = client.query_batch([("u42", "A"), ("u43", "Z")])
+        client.move_instance("u42", x=15200, y=1400)
+
+The module keeps its imports light (no analysis machinery) so an
+embedding placer pays nothing beyond the socket.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from repro.core.oracle import UnknownInstanceError, UnknownPinError
+from repro.serve import protocol
+from repro.serve.protocol import (
+    E_UNKNOWN_INSTANCE,
+    E_UNKNOWN_PIN,
+    HealthRequest,
+    LoadDesignRequest,
+    MetricsRequest,
+    MoveInstanceRequest,
+    QueryBatchRequest,
+    QueryRequest,
+    ShutdownRequest,
+    StatsRequest,
+    parse_address,
+)
+
+__all__ = [
+    "OracleClient",
+    "ServerError",
+    "ConnectionFailed",
+    "parse_address",
+]
+
+
+class ServerError(Exception):
+    """The daemon answered with an error envelope."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ConnectionFailed(ConnectionError):
+    """Could not reach the daemon within the retry budget."""
+
+
+#: Wire error codes that map back onto in-process exception types.
+_TYPED_ERRORS = {
+    E_UNKNOWN_INSTANCE: lambda msg: UnknownInstanceError(msg),
+    E_UNKNOWN_PIN: lambda msg: UnknownPinError(msg, "?"),
+}
+
+
+class OracleClient:
+    """A blocking connection to one pin access daemon."""
+
+    def __init__(
+        self,
+        address,
+        timeout: float = 30.0,
+        connect_retries: int = 20,
+        backoff: float = 0.05,
+        max_backoff: float = 1.0,
+    ):
+        if isinstance(address, str):
+            address = parse_address(address)
+        self.address = address
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._sock = None
+        self._rfile = None
+        self._wfile = None
+        self._next_id = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(self) -> "OracleClient":
+        """Dial the daemon, retrying with exponential backoff."""
+        if self._sock is not None:
+            return self
+        delay = self.backoff
+        last_error = None
+        for _ in range(max(1, self.connect_retries)):
+            try:
+                self._sock = self._dial()
+                self._sock.settimeout(self.timeout)
+                self._rfile = self._sock.makefile("rb")
+                self._wfile = self._sock.makefile("wb")
+                return self
+            except OSError as exc:
+                last_error = exc
+                self._sock = None
+                time.sleep(delay)
+                delay = min(delay * 2, self.max_backoff)
+        raise ConnectionFailed(
+            f"cannot connect to {self.address!r}: {last_error}"
+        )
+
+    def _dial(self) -> socket.socket:
+        if self.address[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(self.address[1])
+            return sock
+        if self.address[0] == "tcp":
+            _, host, port = self.address
+            return socket.create_connection((host, port), timeout=self.timeout)
+        raise ValueError(f"unknown address kind {self.address[0]!r}")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        for stream in (self._rfile, self._wfile, self._sock):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def __enter__(self) -> "OracleClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- transport -----------------------------------------------------------
+
+    def call(self, request) -> dict:
+        """Send one typed request, return the ``result`` object.
+
+        Raises :class:`ServerError` (or the mapped typed exception)
+        on an error envelope, :class:`ConnectionError` on transport
+        failures.
+        """
+        if self._sock is None:
+            self.connect()
+        self._next_id += 1
+        request.req_id = self._next_id
+        protocol.write_frame(self._wfile, request.to_wire())
+        response = protocol.read_frame(self._rfile)
+        if response is None:
+            self.close()
+            raise ConnectionError("server closed the connection mid-request")
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        code = error.get("code", protocol.E_SERVER_ERROR)
+        message = error.get("message", "unspecified error")
+        typed = _TYPED_ERRORS.get(code)
+        if typed is not None:
+            raise typed(message)
+        raise ServerError(code, message)
+
+    # -- operations ----------------------------------------------------------
+
+    def load_design(
+        self,
+        design: str,
+        lef: str,
+        def_path: str,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
+    ) -> dict:
+        """Load a LEF/DEF pair (server-side paths) into a session."""
+        return self.call(
+            LoadDesignRequest(
+                design=design,
+                lef=lef,
+                def_path=def_path,
+                cache_dir=cache_dir,
+                jobs=jobs,
+            )
+        )
+
+    def query(
+        self, instance: str, pin: str, design: Optional[str] = None
+    ) -> dict:
+        """Answer one instance pin; returns the wire answer dict."""
+        result = self.call(
+            QueryRequest(design=design, instance=instance, pin=pin)
+        )
+        return result["answer"]
+
+    def query_batch(
+        self,
+        pins: list,
+        design: Optional[str] = None,
+        chunk_size: int = 1000,
+    ) -> list:
+        """Answer many pins, chunking into frames of ``chunk_size``.
+
+        Each chunk is answered against one snapshot (its answers share
+        a generation); chunks may straddle an edit.
+        """
+        answers = []
+        for start in range(0, len(pins), chunk_size):
+            result = self.call(
+                QueryBatchRequest(
+                    design=design,
+                    pins=list(pins[start:start + chunk_size]),
+                )
+            )
+            answers.extend(result["answers"])
+        return answers
+
+    def move_instance(
+        self, instance: str, x: int, y: int, design: Optional[str] = None
+    ) -> dict:
+        """Apply a placement edit; returns the new generation info."""
+        return self.call(
+            MoveInstanceRequest(design=design, instance=instance, x=x, y=y)
+        )
+
+    def stats(self) -> dict:
+        """Return server + per-session statistics."""
+        return self.call(StatsRequest())
+
+    def health(self) -> dict:
+        """Liveness probe."""
+        return self.call(HealthRequest())
+
+    def metrics(self) -> str:
+        """Return the server registry in Prometheus text format."""
+        return self.call(MetricsRequest())["text"]
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit."""
+        result = self.call(ShutdownRequest())
+        self.close()
+        return result

@@ -100,6 +100,39 @@ class TestIncremental:
         # unless the upper-layer offsets changed.
         assert len(inc._ua_by_signature) <= signatures_before + 1
 
+    def test_moved_representative_follows_placement(self, design):
+        """Moving a signature class's own representative must move its
+        answers.
+
+        Regression test: translations used to be computed against the
+        representative's *live* location, so moving the representative
+        within its signature class (e.g. by a whole number of sites
+        that lands on the same track-offset class) produced a zero
+        translation and answers pinned to the old placement.
+        """
+        inc = IncrementalPinAccess(design)
+        inc.analyze()
+        full0 = PinAccessFramework(design).run()
+        # Representatives are the first member of each unique
+        # instance: pick one and move it within its own row.
+        rep = next(
+            ua.unique_instance.representative
+            for ua in full0.unique_accesses
+        )
+        site = design.tech.site_width
+        target = Point(rep.location.x + 4 * site, rep.location.y)
+        inc.move_instance(rep.name, target)
+        # Every selected AP of the moved instance sits in its new bbox
+        # and matches a from-scratch analysis exactly.
+        full = PinAccessFramework(design).run()
+        full_map = full.access_map()
+        for (inst_name, pin_name), ap in inc.access_map().items():
+            if inst_name != rep.name:
+                continue
+            assert rep.bbox.xlo <= ap.x <= rep.bbox.xhi
+            want = full_map[(inst_name, pin_name)]
+            assert (ap.x, ap.y) == (want.x, want.y)
+
     def test_repeated_moves_stay_consistent(self, design):
         inc = IncrementalPinAccess(design)
         inc.analyze()
