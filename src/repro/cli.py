@@ -101,6 +101,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="via-pair check backend: precompiled kernel "
                           "tables, the DRC engine, or both cross-checked "
                           "(results are identical for all three)")
+    ana.add_argument("--apcheck-mode",
+                     choices=("array", "engine", "verify"),
+                     default="array",
+                     help="Step 1/3 candidate-check backend: compiled "
+                          "occupancy tables, the DRC engine, or both "
+                          "cross-checked (results are identical for "
+                          "all three)")
     ana.add_argument("--stats-json",
                      help="write timings/stats JSON here ('-' for stdout)")
     ana.add_argument("--trace", action="store_true",
@@ -181,6 +188,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "shutdown")
     srv.add_argument("--no-load", action="store_true",
                      help="refuse client load_design requests")
+    srv.add_argument("--apcheck-mode",
+                     choices=("array", "engine", "verify"),
+                     default="array",
+                     help="Step 1/3 candidate backend for the hosted "
+                          "analyses")
     srv.set_defaults(handler=_cmd_serve)
 
     qry = sub.add_parser(
@@ -257,6 +269,11 @@ def _add_qa_run_args(sub_parser) -> None:
                             default="kernel",
                             help="via-pair backend; any choice must "
                                  "reproduce the same fingerprint")
+    sub_parser.add_argument("--apcheck-mode",
+                            choices=("array", "engine", "verify"),
+                            default="array",
+                            help="Step 1/3 candidate backend; any choice "
+                                 "must reproduce the same fingerprint")
 
 
 def _add_qa_check_args(sub_parser) -> None:
@@ -360,6 +377,7 @@ def _cmd_analyze(args) -> int:
             cache_dir=args.cache_dir,
             profile=args.profile,
             paircheck_mode=args.paircheck_mode,
+            apcheck_mode=args.apcheck_mode,
             trace=args.trace,
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
@@ -489,7 +507,11 @@ def _cmd_serve(args) -> int:
     from repro.serve import DesignSession, OracleServer
 
     design = _load(args)
-    config = PaafConfig(jobs=args.jobs, cache_dir=args.cache_dir)
+    config = PaafConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        apcheck_mode=args.apcheck_mode,
+    )
     try:
         session = DesignSession(
             args.design or design.name, design, config
@@ -720,6 +742,7 @@ def _cmd_qa_snapshot(args) -> int:
         args.scale,
         jobs=args.jobs,
         paircheck_mode=args.paircheck_mode,
+        apcheck_mode=args.apcheck_mode,
     )
     path = golden.golden_path(args.goldens, args.testcase, args.scale)
     golden.write_golden(path, record)
@@ -751,6 +774,7 @@ def _cmd_qa_check(args) -> int:
             cases=args.cases,
             jobs=args.jobs,
             paircheck_mode=args.paircheck_mode,
+            apcheck_mode=args.apcheck_mode,
             tolerances=tolerances,
             accept=args.qa_accept,
             max_diff_lines=args.max_diff_lines,
@@ -788,6 +812,7 @@ def _cmd_qa_diff(args) -> int:
             case["scale"],
             jobs=args.jobs,
             paircheck_mode=args.paircheck_mode,
+            apcheck_mode=args.apcheck_mode,
         )
         lines = golden.diff_canonical(
             record["canonical"], canonical_result(result)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.arraykernel import ApCheckMismatch
 from repro.core.config import PaafConfig
 from repro.core.coords import CoordType, candidate_coords
 from repro.db.design import Design
@@ -91,15 +92,28 @@ class AccessPoint:
 
 
 class AccessPointGenerator:
-    """Implements Algorithm 1 for one design."""
+    """Implements Algorithm 1 for one design.
+
+    With an :class:`~repro.core.arraykernel.ArrayKernel` attached (and
+    not in ``engine`` mode), candidate validation runs on the kernel's
+    compiled per-cell tables: each candidate row is answered by one
+    occupancy bitmask instead of per-candidate engine probes, with the
+    engine consulted only to name the violated rule when telemetry
+    sinks are active, or on every candidate in ``verify`` mode.
+    """
 
     def __init__(
-        self, design: Design, engine: DrcEngine, config: PaafConfig = None
+        self,
+        design: Design,
+        engine: DrcEngine,
+        config: PaafConfig = None,
+        akernel=None,
     ):
         self.design = design
         self.tech = design.tech
         self.engine = engine
         self.config = config or PaafConfig()
+        self.akernel = akernel
 
     def generate_for_pin(
         self, inst: Instance, pin: MasterPin, context
@@ -114,6 +128,10 @@ class AccessPointGenerator:
         seen_points = set()
         shapes = inst.pin_rects(pin.name)
         net_key = (inst.name, pin.name)
+        akernel = self.akernel
+        tables = None
+        if akernel is not None and akernel.mode != "engine":
+            tables = akernel.cell_tables(inst)
         with span("step1.pin", inst=inst.name, pin=pin.name) as record:
             for layer_name in sorted(shapes):
                 layer = self.tech.layer(layer_name)
@@ -124,6 +142,7 @@ class AccessPointGenerator:
                 done = self._generate_on_layer(
                     layer, rects, net_key, context, aps, seen_points,
                     is_macro=inst.master.is_macro, polygon=polygon,
+                    inst=inst, tables=tables,
                 )
                 if done:
                     break
@@ -138,7 +157,7 @@ class AccessPointGenerator:
 
     def _generate_on_layer(
         self, layer, rects, net_key, context, aps, seen_points, is_macro,
-        polygon=None,
+        polygon=None, inst=None, tables=None,
     ) -> bool:
         """Run the Algorithm 1 double loop on one layer.
 
@@ -150,6 +169,11 @@ class AccessPointGenerator:
             primary_viadef = self.tech.primary_via_from(layer.name)
         except KeyError:
             primary_viadef = None
+        if tables is not None:
+            return self._generate_on_layer_array(
+                layer, rects, net_key, context, aps, seen_points,
+                is_macro, polygon, inst, tables, pref_axis, primary_viadef,
+            )
         for t1 in cfg.non_preferred_types:
             for t0 in cfg.preferred_types:
                 for rect in rects:
@@ -168,6 +192,256 @@ class AccessPointGenerator:
                 if len(aps) >= cfg.k:
                     return True
         return False
+
+    def _generate_on_layer_array(
+        self, layer, rects, net_key, context, aps, seen_points, is_macro,
+        polygon, inst, tables, pref_axis, primary_viadef,
+    ) -> bool:
+        """Algorithm 1 double loop served by compiled occupancy masks.
+
+        Candidate enumeration comes from the kernel's memoized
+        coordinate tables; validation computes, lazily per candidate
+        row, one dirty bitmask per via (and per planar direction) over
+        the whole row of moving-axis displacements.  Loop structure,
+        dedupe and the per-type early-termination check are identical
+        to the engine path, so the AP list is bit-identical.
+        """
+        cfg = self.config
+        akernel = self.akernel
+        coords = akernel.coords
+        vias = self.tech.vias_from(layer.name)
+        pin_name = net_key[1]
+        ox, oy = inst.location.x, inst.location.y
+        fixed_is_y = pref_axis == "y"
+        nonpref_axis = "x" if fixed_is_y else "y"
+        registry = active_registry()
+        log = active_log()
+        # Per-layer constants of the point loop, resolved once: the
+        # (via, site table, min-step table) triples and the planar
+        # stub tables of this pin/layer.
+        via_info = [
+            (
+                viadef,
+                tables.site[(pin_name, viadef.name)],
+                tables.minstep[(pin_name, viadef.name)],
+            )
+            for viadef in vias
+        ]
+        stubs = (
+            tables.planar[(pin_name, layer.name)]
+            if cfg.check_planar
+            else None
+        )
+        # With no telemetry sink, no verify oracle and via access
+        # required, a point that is dirty for *every* via can never be
+        # accepted -- the ANDed via masks reject it without entering
+        # the per-via validation at all.  Counters advance by
+        # arithmetic so stats match the per-point path exactly.
+        nvias = len(vias)
+        fast_reject = (
+            nvias > 0
+            and registry is None
+            and log is None
+            and akernel.mode != "verify"
+            and cfg.require_via_access
+            and not is_macro
+            and not cfg.require_cut_on_pin
+        )
+        # The coordinate cache returns the *same* list object for
+        # equal (type, span, via) queries, so a repeated (pref,
+        # nonpref) list pair can only re-enumerate already-seen points
+        # -- skip the whole batch.
+        done_pairs = set()
+        for t1 in cfg.non_preferred_types:
+            for t0 in cfg.preferred_types:
+                for rect in rects:
+                    pref_coords = coords.candidate(
+                        pref_axis, t0, rect, layer, primary_viadef
+                    )
+                    if not pref_coords:
+                        continue
+                    nonpref_coords = coords.candidate(
+                        nonpref_axis, t1, rect, layer, primary_viadef
+                    )
+                    if not nonpref_coords:
+                        continue
+                    pair = (id(pref_coords), id(nonpref_coords))
+                    if pair in done_pairs:
+                        continue
+                    done_pairs.add(pair)
+                    moving = [
+                        c - (ox if fixed_is_y else oy)
+                        for c in nonpref_coords
+                    ]
+                    for pc in pref_coords:
+                        fixed = pc - (oy if fixed_is_y else ox)
+                        row = None
+                        all_dirty = 0
+                        for ni, nc in enumerate(nonpref_coords):
+                            x, y = (nc, pc) if fixed_is_y else (pc, nc)
+                            if (x, y) in seen_points:
+                                continue
+                            seen_points.add((x, y))
+                            if row is None:
+                                # One dirty bitmask per via over the
+                                # whole row.  Planar stub verdicts are
+                                # deliberately pointwise: a row rarely
+                                # contributes more than a point or two
+                                # after the cross-type dedupe, so four
+                                # whole-row stub masks would cost more
+                                # than probing the tiny stub tables.
+                                row = [
+                                    site.row_mask(
+                                        fixed_is_y, fixed, moving
+                                    )
+                                    for _, site, _ms in via_info
+                                ]
+                                if fast_reject:
+                                    all_dirty = -1
+                                    for mask in row:
+                                        all_dirty &= mask
+                            if fast_reject and all_dirty >> ni & 1:
+                                akernel.candidates += nvias
+                                akernel.filtered += nvias
+                                continue
+                            ap = self._validate_array(
+                                layer, x, y, t0, t1, net_key, context,
+                                is_macro, polygon, via_info, stubs,
+                                row, ni, x - ox, y - oy,
+                                registry, log,
+                            )
+                            if ap is not None:
+                                aps.append(ap)
+                if len(aps) >= cfg.k:
+                    return True
+        return False
+
+    def _validate_array(
+        self, layer, x, y, t0, t1, net_key, context, is_macro, polygon,
+        via_info, stubs, row, ni, dx, dy, registry, log,
+    ):
+        """Table-served twin of :meth:`_validate`.
+
+        The tables decide; the engine runs only to name the violated
+        rule for telemetry (dirty candidates, when sinks are active)
+        or to cross-check every verdict in ``verify`` mode.  A dirty
+        table verdict the engine cannot reproduce raises
+        :class:`~repro.core.arraykernel.ApCheckMismatch` even outside
+        verify mode -- it is a proven divergence, never noise.
+        """
+        akernel = self.akernel
+        verify = akernel.mode == "verify"
+        valid_vias = []
+        for vi, (viadef, _site, minstep) in enumerate(via_info):
+            if (
+                self.config.require_cut_on_pin
+                and polygon is not None
+                and not polygon.contains_rect(
+                    viadef.cut_at(x, y)
+                )
+            ):
+                self._note_rejection(
+                    registry, log, net_key, layer, Point(x, y), t0, t1,
+                    viadef.name, "cut-not-on-pin", viadef.cut_layer,
+                )
+                continue
+            akernel.candidates += 1
+            if registry is not None:
+                registry.incr("arraykernel.candidates")
+            dirty = bool(row[vi] >> ni & 1)
+            if not dirty:
+                if minstep is not None:
+                    if minstep.max_edges:
+                        akernel.minstep_engine += 1
+                    dirty = minstep.dirty(dx, dy, layer)
+            violations = None
+            if verify:
+                violations = self.engine.check_via_placement(
+                    viadef, x, y, net_key, context
+                )
+                if bool(violations) != dirty:
+                    akernel.verify_mismatches += 1
+                    raise ApCheckMismatch(
+                        f"array kernel diverged from DrcEngine for via "
+                        f"{viadef.name} at ({x}, {y}) on "
+                        f"{layer.name} (net {net_key}): "
+                        f"kernel={'dirty' if dirty else 'clean'}, "
+                        f"engine={'dirty' if violations else 'clean'}"
+                    )
+            if not dirty:
+                valid_vias.append(viadef.name)
+                continue
+            akernel.filtered += 1
+            if registry is not None:
+                registry.incr("arraykernel.filtered")
+            if registry is not None or log is not None:
+                if violations is None:
+                    violations = self.engine.check_via_placement(
+                        viadef, x, y, net_key, context
+                    )
+                if not violations:
+                    akernel.verify_mismatches += 1
+                    raise ApCheckMismatch(
+                        f"array kernel rejected via {viadef.name} at "
+                        f"({x}, {y}) on {layer.name} "
+                        f"(net {net_key}) but the engine found no "
+                        f"violation"
+                    )
+                self._note_rejection(
+                    registry, log, net_key, layer, Point(x, y), t0, t1,
+                    viadef.name, violations[0].rule,
+                    violations[0].layer_name,
+                )
+        planar_dirs = []
+        if stubs is not None:
+            planar_dirs = [
+                d
+                for d, stub in zip(PLANAR_DIRECTIONS, stubs)
+                if stub.clean(dx, dy)
+            ]
+            if verify:
+                oracle = self._planar_directions(
+                    layer, Point(x, y), net_key, context
+                )
+                if oracle != planar_dirs:
+                    akernel.verify_mismatches += 1
+                    raise ApCheckMismatch(
+                        f"array kernel planar verdict diverged at "
+                        f"({x}, {y}) on {layer.name} "
+                        f"(net {net_key}): kernel={planar_dirs}, "
+                        f"engine={oracle}"
+                    )
+        ap = AccessPoint(
+            x=x,
+            y=y,
+            layer_name=layer.name,
+            pref_type=t0,
+            nonpref_type=t1,
+            valid_vias=valid_vias,
+            planar_dirs=planar_dirs,
+        )
+        accepted = ap.has_via_access or (
+            (not self.config.require_via_access or is_macro)
+            and bool(planar_dirs)
+        )
+        if not accepted:
+            return None
+        if registry is not None:
+            registry.incr("apgen.accept")
+        if log is not None:
+            log.emit(
+                "ap.accept",
+                inst=net_key[0],
+                pin=net_key[1],
+                x=x,
+                y=y,
+                layer=layer.name,
+                vias=list(valid_vias),
+                planar=list(planar_dirs),
+                t0=t0.name.lower(),
+                t1=t1.name.lower(),
+            )
+        return ap
 
     def _points_of_type(
         self, layer, rect, pref_axis, t0, t1, viadef

@@ -20,6 +20,7 @@ from repro.drc.context import ShapeContext
 from repro.drc.engine import DrcEngine
 from repro.drc.pairkernel import PairKernel
 from repro.obs.events import active_log
+from repro.obs.metrics import active_registry
 from repro.obs.trace import span
 from repro.perf.profile import tick
 
@@ -38,6 +39,9 @@ class SelectedAccess:
     dx: int
     dy: int
     overrides: dict = field(default_factory=dict)
+    _boundary_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def access_points(self) -> dict:
         """Return pin name -> translated access point.
@@ -75,6 +79,15 @@ class SelectedAccess:
         """
         if self.pattern is None or not self.pattern.aps:
             return []
+        # The Step 3 DP prices each candidate against every neighbor
+        # candidate, re-asking for the same boundary set; memoize while
+        # no repair override is in play (overrides mutate in place, so
+        # a cached translation would go stale).
+        cacheable = not self.overrides
+        if cacheable:
+            cached = self._boundary_cache.get(window)
+            if cached is not None:
+                return cached
         names = list(self.pattern.aps)
         boundary = {names[0], names[-1]}
         if window is not None:
@@ -83,7 +96,10 @@ class SelectedAccess:
                 x = self.ap_of(pin_name).x
                 if x - bbox.xlo <= window or bbox.xhi - x <= window:
                     boundary.add(pin_name)
-        return [(pin_name, self.ap_of(pin_name)) for pin_name in boundary]
+        out = [(pin_name, self.ap_of(pin_name)) for pin_name in boundary]
+        if cacheable:
+            self._boundary_cache[window] = out
+        return out
 
 
 @dataclass
@@ -111,6 +127,7 @@ class ClusterPatternSelector:
         engine: DrcEngine,
         config: PaafConfig = None,
         kernel: PairKernel = None,
+        akernel=None,
     ):
         self.design = design
         self.tech = design.tech
@@ -121,8 +138,22 @@ class ClusterPatternSelector:
                 design.tech, mode=self.config.paircheck_mode, engine=engine
             )
         self.kernel = kernel
+        self.akernel = akernel
         self._shape_ctx_cache = {}
         self._via_vs_inst_cache = {}
+        # (id(left), id(right)) -> conflict list, valid only while
+        # neither side has repair overrides (the candidate objects are
+        # kept alive by the caller for the whole select() run, so ids
+        # are stable).  The cluster DP re-prices the same neighbor
+        # pair once per predecessor state; the memo collapses those
+        # repeats to one boundary scan.
+        self._conflict_cache = {}
+        # Translation-invariant twin of the identity memo: the verdict
+        # for a (pattern, pattern) pair depends only on the relative
+        # displacement of the two members, so rows of identically
+        # pitched instances share one boundary scan per pattern pair.
+        self._conflict_rel_cache = {}
+        self._via_aps_cache = {}
         self._boundary_window = self._interaction_window()
 
     def _interaction_window(self) -> int:
@@ -383,42 +414,122 @@ class ClusterPatternSelector:
         each other, and each boundary up-via against the *static*
         shapes (pins, obstructions) of the neighboring instance.
         """
-        window = self._boundary_window
+        cacheable = not left.overrides and not right.overrides
+        rel_key = None
+        if cacheable:
+            cached = self._conflict_cache.get((id(left), id(right)))
+            if cached is not None:
+                return cached
+            if left.pattern is not None and right.pattern is not None:
+                # Patterns are owned by one unique instance each, so
+                # the pattern ids pin down both representatives'
+                # absolute geometry; the dx/dy delta pins the members'
+                # relative placement.  Every conflict check (pair
+                # kernel, via-vs-instance table) is translation
+                # invariant, so the pin-pair verdicts transfer.
+                rel_key = (
+                    id(left.pattern),
+                    id(right.pattern),
+                    right.dx - left.dx,
+                    right.dy - left.dy,
+                )
+                hit = self._conflict_rel_cache.get(rel_key)
+                if hit is not None:
+                    lname = left.inst.name
+                    rname = right.inst.name
+                    conflicts = [
+                        (lname, pin_a, rname, pin_b)
+                        for pin_a, pin_b in hit
+                    ]
+                    self._conflict_cache[(id(left), id(right))] = conflicts
+                    return conflicts
         conflicts = []
-        left_aps = left.boundary_aps(window)
-        right_aps = right.boundary_aps(window)
-        for pin_a, ap_a in left_aps:
-            for pin_b, ap_b in right_aps:
-                if not ap_a.has_via_access or not ap_b.has_via_access:
-                    continue
-                if not self._pair_clean(ap_a, ap_b):
-                    conflicts.append(
-                        (left.inst.name, pin_a, right.inst.name, pin_b)
+        left_aps = self._boundary_via_aps(left, cacheable)
+        right_aps = self._boundary_via_aps(right, cacheable)
+        lname = left.inst.name
+        rname = right.inst.name
+        kernel = self.kernel
+        tables = (
+            kernel.tables
+            if kernel.mode == "kernel" and active_registry() is None
+            else None
+        )
+        pair_clean = kernel.pair_clean
+        for pin_a, _ap_a, via_a, ax, ay in left_aps:
+            for pin_b, _ap_b, via_b, bx, by in right_aps:
+                if tables is not None:
+                    # Inlined kernel-mode fast path: build_all has
+                    # precompiled every via combination, so the dict
+                    # hit plus the table probe is the whole verdict.
+                    # Only taken with no metrics registry active --
+                    # the method path is what ticks the query
+                    # counters.
+                    table = tables.get((via_a, via_b, False))
+                    clean = (
+                        table.clean(bx - ax, by - ay)
+                        if table is not None
+                        else pair_clean(via_a, ax, ay, via_b, bx, by)
                     )
-        for pin_a, ap_a in left_aps:
-            if ap_a.has_via_access and not self._via_vs_instance_clean(
-                ap_a, right.inst
-            ):
-                conflicts.append(
-                    (left.inst.name, pin_a, right.inst.name, "<shapes>")
-                )
-        for pin_b, ap_b in right_aps:
-            if ap_b.has_via_access and not self._via_vs_instance_clean(
-                ap_b, left.inst
-            ):
-                conflicts.append(
-                    (left.inst.name, "<shapes>", right.inst.name, pin_b)
-                )
+                else:
+                    clean = pair_clean(via_a, ax, ay, via_b, bx, by)
+                if not clean:
+                    conflicts.append((lname, pin_a, rname, pin_b))
+        for pin_a, ap_a, _via, _ax, _ay in left_aps:
+            if not self._via_vs_instance_clean(ap_a, right.inst):
+                conflicts.append((lname, pin_a, rname, "<shapes>"))
+        for pin_b, ap_b, _via, _bx, _by in right_aps:
+            if not self._via_vs_instance_clean(ap_b, left.inst):
+                conflicts.append((lname, "<shapes>", rname, pin_b))
+        if cacheable:
+            self._conflict_cache[(id(left), id(right))] = conflicts
+            if rel_key is not None:
+                self._conflict_rel_cache[rel_key] = [
+                    (pin_a, pin_b) for _, pin_a, _, pin_b in conflicts
+                ]
         return conflicts
 
+    def _boundary_via_aps(self, sel: SelectedAccess, cacheable: bool) -> list:
+        """Boundary APs with via access, unpacked for the conflict scan.
+
+        Entries are ``(pin, ap, primary_via, x, y)``; memoized per
+        selection object while it carries no repair overrides (same
+        staleness rule as the conflict memos).
+        """
+        if cacheable:
+            hit = self._via_aps_cache.get(id(sel))
+            if hit is not None:
+                return hit
+        out = [
+            (pin, ap, ap.valid_vias[0], ap.x, ap.y)
+            for pin, ap in sel.boundary_aps(self._boundary_window)
+            if ap.has_via_access
+        ]
+        if cacheable:
+            self._via_aps_cache[id(sel)] = out
+        return out
+
     def _via_vs_instance_clean(self, ap, neighbor_inst) -> bool:
-        """Check an up-via against a neighboring instance's shapes."""
+        """Check an up-via against a neighboring instance's shapes.
+
+        With an array kernel attached this is one compiled-table lookup
+        keyed by the via's displacement from the neighbor's origin (the
+        ``net_key=None`` site table, shared across every instance of
+        the neighbor's master/orientation); the kernel's verify mode
+        cross-checks the engine internally.
+        """
         key = (ap.primary_via, ap.x, ap.y, neighbor_inst.name)
         cached = self._via_vs_inst_cache.get(key)
         if cached is not None:
             tick("cluster.via_vs_inst_cache.hit")
             return cached
         tick("cluster.via_vs_inst_cache.miss")
+        akernel = self.akernel
+        if akernel is not None and akernel.mode != "engine":
+            clean = akernel.via_vs_instance_clean(
+                ap.primary_via, ap.x, ap.y, neighbor_inst
+            )
+            self._via_vs_inst_cache[key] = clean
+            return clean
         context = self._shape_ctx_cache.get(neighbor_inst.name)
         if context is None:
             context = ShapeContext.from_instance(neighbor_inst)

@@ -51,6 +51,12 @@ class PaafConfig:
                                         # "engine" (DrcEngine oracle) or
                                         # "verify" (both; raise on any
                                         # divergence)
+    apcheck_mode: str = "array"         # Step 1/3 candidate backend:
+                                        # "array" (compiled per-cell
+                                        # occupancy tables), "engine"
+                                        # (per-candidate DrcEngine
+                                        # probes) or "verify" (both;
+                                        # raise on any divergence)
 
     # Observability knobs (repro.obs).  Perf-only like the block
     # above: they add telemetry, never change results, and the AP
@@ -74,6 +80,11 @@ class PaafConfig:
             raise ValueError(
                 "paircheck_mode must be 'kernel', 'engine' or 'verify', "
                 f"got {self.paircheck_mode!r}"
+            )
+        if self.apcheck_mode not in ("array", "engine", "verify"):
+            raise ValueError(
+                "apcheck_mode must be 'array', 'engine' or 'verify', "
+                f"got {self.apcheck_mode!r}"
             )
 
     def without_bca(self) -> "PaafConfig":

@@ -238,6 +238,16 @@ class PinAccessFramework:
             mode=self.config.paircheck_mode,
             engine=self.engine,
         )
+        # And one array kernel for the per-cell workloads: Step 1
+        # candidate validation and Step 3 via-vs-instance checks share
+        # its compiled occupancy tables the same way.
+        from repro.core.arraykernel import ArrayKernel
+
+        self.akernel = ArrayKernel(
+            design,
+            mode=self.config.apcheck_mode,
+            engine=self.engine,
+        )
 
     def run(self, jobs: int = None, use_cache: bool = True) -> PinAccessResult:
         """Run all three steps and return the populated result.
@@ -283,7 +293,10 @@ class PinAccessFramework:
                 t3 = time.perf_counter()
         if self.cache is not None and use_cache and self.kernel.built:
             self.cache.store_pair_tables(self.kernel.tables)
+        if self.cache is not None and use_cache and self.akernel.built:
+            self.cache.store_array_tables(self.akernel.tables)
         result.stats.update(self.kernel.stats())
+        result.stats.update(self.akernel.stats())
         result.timings["step1"] = step1_s
         result.timings["step2"] = step2_s
         result.timings["step3"] = t3 - t2
@@ -319,7 +332,8 @@ class PinAccessFramework:
     def run_step2(self, result: PinAccessResult) -> PinAccessResult:
         """Step 2: access pattern generation per unique instance."""
         generator = AccessPatternGenerator(
-            self.design.tech, self.engine, self.config, kernel=self.kernel
+            self.design.tech, self.engine, self.config,
+            kernel=self.kernel, akernel=self.akernel,
         )
         for ua in result.unique_accesses:
             ua.patterns = generator.generate(
@@ -352,7 +366,8 @@ class PinAccessFramework:
         if not self.config.boundary_conflict_aware:
             alternatives_fn = None
         selector = ClusterPatternSelector(
-            self.design, self.engine, self.config, kernel=self.kernel
+            self.design, self.engine, self.config,
+            kernel=self.kernel, akernel=self.akernel,
         )
         result.selection = selector.select(candidates_by_inst, alternatives_fn)
         return result
@@ -368,13 +383,18 @@ class PinAccessFramework:
         receive the complete table set and never build their own.  In
         ``engine`` mode the kernel is inert and stays empty.
         """
-        if self.kernel.mode == "engine":
-            return
-        if self.cache is not None and use_cache:
-            tables = self.cache.load_pair_tables()
-            if tables:
-                self.kernel.preload(tables)
-        self.kernel.build_all()
+        if self.kernel.mode != "engine":
+            if self.cache is not None and use_cache:
+                tables = self.cache.load_pair_tables()
+                if tables:
+                    self.kernel.preload(tables)
+            self.kernel.build_all()
+        if self.akernel.mode != "engine":
+            if self.cache is not None and use_cache:
+                tables = self.cache.load_array_tables()
+                if tables:
+                    self.akernel.preload(tables)
+            self.akernel.build_all()
 
     def _run_step12(
         self,
@@ -419,6 +439,7 @@ class PinAccessFramework:
                     self.config,
                     self.config.profile,
                     self.kernel.tables,
+                    self.akernel.tables,
                 ),
             )
             for index, aps_by_pin, patterns, s1, s2, snap in outcome.results:
@@ -506,6 +527,7 @@ class PinAccessFramework:
                 self.config,
                 self.config.profile,
                 self.kernel.tables,
+                self.akernel.tables,
             ),
         )
         result.stats["parallel.step3_jobs"] = outcome.jobs_used
@@ -555,7 +577,7 @@ class PinAccessFramework:
 
     def _step1(self, result: PinAccessResult) -> None:
         generator = AccessPointGenerator(
-            self.design, self.engine, self.config
+            self.design, self.engine, self.config, akernel=self.akernel
         )
         for ui in unique_instances(self.design):
             rep = ui.representative

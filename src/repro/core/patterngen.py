@@ -10,6 +10,7 @@ and iterate for the next pattern.
 from __future__ import annotations
 
 from repro.core.apgen import AccessPoint
+from repro.core.arraykernel import FlatDp
 from repro.core.config import PaafConfig
 from repro.core.dpgraph import LayeredDpGraph
 from repro.core.pattern import AccessPattern
@@ -68,6 +69,7 @@ class AccessPatternGenerator:
         engine: DrcEngine,
         config: PaafConfig = None,
         kernel: PairKernel = None,
+        akernel=None,
     ):
         self.tech = tech
         self.engine = engine
@@ -77,6 +79,7 @@ class AccessPatternGenerator:
                 tech, mode=self.config.paircheck_mode, engine=engine
             )
         self.kernel = kernel
+        self.akernel = akernel
 
     def generate(self, aps_by_pin: dict, label: str = None) -> list:
         """Return access patterns for one unique instance.
@@ -100,14 +103,61 @@ class AccessPatternGenerator:
         patterns = []
         seen_signatures = set()
         log = active_log()
+        solver = None
+        if (
+            self.akernel is not None
+            and self.akernel.mode != "engine"
+            and log is None
+            and active_registry() is None
+        ):
+            # Flat-array DP: compatibility masks compile once and are
+            # reused by every pattern iteration.  Gated off when
+            # telemetry sinks are active -- the closure path is what
+            # prices each edge into the metrics/event streams.
+            compat = self.aps_compatible
+            kernel = self.kernel
+            if kernel.mode == "kernel":
+                # Mask compilation is the Step 2 hot loop; with no
+                # registry active (guaranteed in this branch) the
+                # query counters are no-ops anyway, so probe the
+                # prebuilt pair tables directly.
+                tables = kernel.tables
+                pair_clean = kernel.pair_clean
+
+                def compat(a, b):
+                    if not a.has_via_access or not b.has_via_access:
+                        return True
+                    table = tables.get(
+                        (a.primary_via, b.primary_via, False)
+                    )
+                    if table is None:
+                        return pair_clean(
+                            a.primary_via, a.x, a.y,
+                            b.primary_via, b.x, b.y,
+                        )
+                    return table.clean(b.x - a.x, b.y - a.y)
+
+            solver = FlatDp(groups, compat, cfg)
+
+        def is_used_boundary(vertex) -> bool:
+            pin_name, ap = vertex
+            return (
+                pin_name in boundary_pins
+                and _ap_key(pin_name, ap) in used_boundary_aps
+            )
+
         with span("step2.patterns", inst=label) as record:
             for iteration in range(cfg.patterns_per_unique_instance):
-                graph = LayeredDpGraph(groups)
-                chosen, cost = graph.solve(
-                    self._edge_cost_fn(
-                        boundary_pins, used_boundary_aps, label
+                if solver is not None:
+                    chosen, cost = solver.solve(is_used_boundary)
+                    self.akernel.dp_solves += 1
+                else:
+                    graph = LayeredDpGraph(groups)
+                    chosen, cost = graph.solve(
+                        self._edge_cost_fn(
+                            boundary_pins, used_boundary_aps, label
+                        )
                     )
-                )
                 pattern = AccessPattern(
                     aps={pin_name: ap for pin_name, ap in chosen},
                     cost=int(cost),

@@ -54,6 +54,10 @@ PERF_ONLY_FIELDS = frozenset(
         "cache_dir",
         "profile",
         "paircheck_mode",
+        # ``apcheck_mode`` likewise: the array kernel is provably
+        # equivalent to the engine path (verify mode raises on any
+        # divergence), so the backend choice must not split the cache.
+        "apcheck_mode",
         # Observability knobs: telemetry only, results are identical
         # with any combination enabled.
         "trace",
@@ -66,6 +70,11 @@ PERF_ONLY_FIELDS = frozenset(
 # Sibling file of the per-signature entries holding the pair kernel's
 # forbidden-displacement tables for this fingerprint's technology.
 PAIR_TABLE_FILE = "pairkernel.pkl"
+
+# And the array kernel's compiled per-cell occupancy tables (Step 1
+# candidate validation + Step 3 via-vs-instance checks), keyed by
+# (master, orientation) so they are valid for any placement.
+ARRAY_TABLE_FILE = "arraykernel.pkl"
 
 
 def paaf_fingerprint(design, config) -> str:
@@ -219,7 +228,8 @@ class AccessCache:
             return sum(
                 1
                 for name in os.listdir(self.root)
-                if name.endswith(".pkl") and name != PAIR_TABLE_FILE
+                if name.endswith(".pkl")
+                and name not in (PAIR_TABLE_FILE, ARRAY_TABLE_FILE)
             )
         except OSError:
             return 0
@@ -262,6 +272,55 @@ class AccessCache:
             "tables": tables,
         }
         path = os.path.join(self.root, PAIR_TABLE_FILE)
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=4)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    # -- array kernel tables -------------------------------------------------
+
+    def load_array_tables(self):
+        """Return the persisted array-kernel tables, or None on miss.
+
+        Same contract as :meth:`load_pair_tables`: the compiled
+        per-cell tables depend on the technology and the cell
+        library's geometry, both under this cache's fingerprint, so a
+        warm run adopts them wholesale and skips compilation.
+        """
+        path = os.path.join(self.root, ARRAY_TABLE_FILE)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Same degradation contract as per-signature entries: a
+            # torn or stale file is a miss, never a crash.
+            return None
+        if not isinstance(entry, dict) or (
+            entry.get("version") != CACHE_FORMAT_VERSION
+        ):
+            return None
+        if entry.get("fingerprint") != self.fingerprint:
+            return None
+        tables = entry.get("tables")
+        return tables if isinstance(tables, dict) else None
+
+    def store_array_tables(self, tables: dict) -> None:
+        """Persist the array-kernel tables atomically."""
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "tables": tables,
+        }
+        path = os.path.join(self.root, ARRAY_TABLE_FILE)
         os.makedirs(self.root, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 
 from repro.core.apgen import AccessPointGenerator
+from repro.core.arraykernel import ArrayKernel
 from repro.core.cluster import (
     ClusterPatternSelector,
     ClusterSelectionResult,
@@ -39,11 +40,12 @@ class WorkerState:
     """Per-process shared state, built once by :func:`init_worker`."""
 
     __slots__ = (
-        "design", "config", "profile", "engine", "kernel",
+        "design", "config", "profile", "engine", "kernel", "akernel",
         "_uniques", "_clusters",
     )
 
-    def __init__(self, design, config, profile=False, pair_tables=None):
+    def __init__(self, design, config, profile=False, pair_tables=None,
+                 array_tables=None):
         self.design = design
         self.config = config
         self.profile = profile
@@ -57,6 +59,16 @@ class WorkerState:
             mode=config.paircheck_mode,
             engine=self.engine,
             tables=pair_tables,
+        )
+        # Likewise one array kernel per process: the parent ships its
+        # compiled per-cell occupancy tables (keyed by master/orient,
+        # hence valid in any process) so Step 1 validation and Step 3
+        # boundary checks never recompile them.
+        self.akernel = ArrayKernel(
+            design,
+            mode=config.apcheck_mode,
+            engine=self.engine,
+            tables=array_tables,
         )
         self._uniques = None
         self._clusters = None
@@ -77,32 +89,35 @@ class WorkerState:
 _STATE = None
 
 
-def init_worker(design, config, profile=False, pair_tables=None) -> None:
+def init_worker(design, config, profile=False, pair_tables=None,
+                array_tables=None) -> None:
     """Pool initializer: install the shared state in this process."""
     global _STATE
-    _STATE = WorkerState(design, config, profile, pair_tables)
+    _STATE = WorkerState(design, config, profile, pair_tables, array_tables)
 
 
-def compute_unique_access(design, engine, config, ui, kernel=None) -> tuple:
+def compute_unique_access(
+    design, engine, config, ui, kernel=None, akernel=None
+) -> tuple:
     """Fused Step 1 + Step 2 for one unique instance.
 
     Returns ``(aps_by_pin, patterns, step1_seconds, step2_seconds)``.
     The two steps share the representative's intra-cell
     :class:`ShapeContext`, which is why they are fused into one task:
     the context is built (and, under process fan-out, shipped) once.
-    ``kernel`` is the shared pair kernel; each generator builds its
-    own when None.
+    ``kernel`` is the shared pair kernel and ``akernel`` the shared
+    array kernel; each generator builds its own when None.
     """
     rep = ui.representative
     t0 = time.perf_counter()
     context = ShapeContext.from_instance(rep)
-    generator = AccessPointGenerator(design, engine, config)
+    generator = AccessPointGenerator(design, engine, config, akernel=akernel)
     aps_by_pin = {}
     for pin in rep.master.signal_pins():
         aps_by_pin[pin.name] = generator.generate_for_pin(rep, pin, context)
     t1 = time.perf_counter()
     patterns = AccessPatternGenerator(
-        design.tech, engine, config, kernel=kernel
+        design.tech, engine, config, kernel=kernel, akernel=akernel
     ).generate(aps_by_pin, label=rep.name)
     t2 = time.perf_counter()
     return aps_by_pin, patterns, t1 - t0, t2 - t1
@@ -125,7 +140,8 @@ def step12_task(index: int) -> tuple:
     collector = Collector.from_config(state.config, profile=state.profile)
     if not collector.enabled:
         aps_by_pin, patterns, s1, s2 = compute_unique_access(
-            state.design, state.engine, state.config, ui, state.kernel
+            state.design, state.engine, state.config, ui,
+            state.kernel, state.akernel,
         )
         return index, aps_by_pin, patterns, s1, s2, None
     with collector:
@@ -137,7 +153,8 @@ def step12_task(index: int) -> tuple:
             members=len(ui.members),
         ):
             aps_by_pin, patterns, s1, s2 = compute_unique_access(
-                state.design, state.engine, state.config, ui, state.kernel
+                state.design, state.engine, state.config, ui,
+                state.kernel, state.akernel,
             )
     return index, aps_by_pin, patterns, s1, s2, collector.snapshot()
 
@@ -203,7 +220,8 @@ def _run_step3_component(state, payload) -> list:
             return aps_by_inst.get(inst_name, {}).get(pin_name, [])
 
     selector = ClusterPatternSelector(
-        design, state.engine, config, kernel=state.kernel
+        design, state.engine, config, kernel=state.kernel,
+        akernel=state.akernel,
     )
     result = ClusterSelectionResult()
     per_cluster = []

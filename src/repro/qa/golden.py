@@ -61,19 +61,24 @@ def run_case(
     scale: float,
     jobs: int = 1,
     paircheck_mode: str = "kernel",
+    apcheck_mode: str = "array",
 ):
     """Generate and analyze one case; return ``(result, failed_pins)``.
 
-    ``jobs`` and ``paircheck_mode`` are perf knobs: any combination
-    must reproduce the same fingerprint, which is exactly what the
-    cross-matrix CI jobs assert.
+    ``jobs``, ``paircheck_mode`` and ``apcheck_mode`` are perf knobs:
+    any combination must reproduce the same fingerprint, which is
+    exactly what the cross-matrix CI jobs assert.
     """
     from repro.bench import build_testcase
     from repro.core import PaafConfig, PinAccessFramework
     from repro.core.framework import evaluate_failed_pins
 
     design = build_testcase(testcase, scale=scale)
-    config = PaafConfig(jobs=jobs, paircheck_mode=paircheck_mode)
+    config = PaafConfig(
+        jobs=jobs,
+        paircheck_mode=paircheck_mode,
+        apcheck_mode=apcheck_mode,
+    )
     result = PinAccessFramework(design, config).run()
     failed = evaluate_failed_pins(design, result.access_map())
     return result, failed
@@ -84,10 +89,15 @@ def snapshot_case(
     scale: float,
     jobs: int = 1,
     paircheck_mode: str = "kernel",
+    apcheck_mode: str = "array",
 ) -> dict:
     """Run one case and build its golden record."""
     result, failed = run_case(
-        testcase, scale, jobs=jobs, paircheck_mode=paircheck_mode
+        testcase,
+        scale,
+        jobs=jobs,
+        paircheck_mode=paircheck_mode,
+        apcheck_mode=apcheck_mode,
     )
     return golden_record(testcase, scale, result, failed)
 
@@ -225,6 +235,7 @@ def check_goldens(
     cases: list = None,
     jobs: int = 1,
     paircheck_mode: str = "kernel",
+    apcheck_mode: str = "array",
     tolerances: dict = None,
     accept: bool = False,
     max_diff_lines: int = 20,
@@ -242,6 +253,7 @@ def check_goldens(
         "goldens_dir": goldens_dir,
         "jobs": jobs,
         "paircheck_mode": paircheck_mode,
+        "apcheck_mode": apcheck_mode,
         "accept": accept,
         "cases": [],
     }
@@ -257,6 +269,7 @@ def check_goldens(
             case["scale"],
             jobs=jobs,
             paircheck_mode=paircheck_mode,
+            apcheck_mode=apcheck_mode,
         )
         entry = _check_one(record, result, failed, tolerances, max_diff_lines)
         entry["case"] = case_id(case["testcase"], case["scale"])
@@ -272,7 +285,8 @@ def check_goldens(
         _print_entry(entry, out)
     out(
         f"qa check: {len(paths) - failures}/{len(paths)} case(s) ok "
-        f"(jobs={jobs}, paircheck_mode={paircheck_mode})"
+        f"(jobs={jobs}, paircheck_mode={paircheck_mode}, "
+        f"apcheck_mode={apcheck_mode})"
     )
     return (1 if failures else 0), report
 

@@ -168,6 +168,25 @@ _DERIVED_KEYS = frozenset(
 _IDENTITY_KEYS = frozenset({"design", "scale", "cells"})
 
 
+def bench_context() -> dict:
+    """Describe the measuring host for a ``BENCH_*.json`` entry.
+
+    One shared implementation so every benchmark records the same
+    fields: logical CPU count, interpreter version and platform
+    string.  Benchmarks that historically recorded only ``cpu_count``
+    (or nothing) pick the full set up automatically through
+    :func:`bench_entry`.
+    """
+    import os
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 def bench_entry(
     design: str,
     scale: float,
@@ -177,7 +196,11 @@ def bench_entry(
     context: dict = None,
     metrics: dict = None,
 ) -> dict:
-    """Build one ``BENCH_*.json`` history entry in the shared schema."""
+    """Build one ``BENCH_*.json`` history entry in the shared schema.
+
+    The host description from :func:`bench_context` is merged in
+    under ``context``; caller-provided keys win on conflict.
+    """
     entry = {
         "schema": BENCH_SCHEMA,
         "design": design,
@@ -185,7 +208,7 @@ def bench_entry(
         "cells": cells,
         "perf": dict(perf),
         "derived": dict(derived or {}),
-        "context": dict(context or {}),
+        "context": {**bench_context(), **(context or {})},
     }
     if metrics is not None:
         entry["metrics"] = dict(metrics)
@@ -213,7 +236,7 @@ def migrate_bench_entry(entry: dict) -> dict:
             derived[key] = value
         else:
             perf[key] = value
-    return bench_entry(
+    migrated = bench_entry(
         design=entry.get("design", "unknown"),
         scale=entry.get("scale", 0.0),
         cells=entry.get("cells", 0),
@@ -221,3 +244,7 @@ def migrate_bench_entry(entry: dict) -> dict:
         derived=derived,
         context=context,
     )
+    # Historic entries describe the machine they were recorded on; do
+    # not graft the current host description onto them.
+    migrated["context"] = context
+    return migrated
