@@ -51,11 +51,30 @@ def bench_history(path) -> list:
 
 
 def append_bench_entry(path, entry: dict) -> None:
-    """Append one ``repro.qa.bench/v1`` entry to a history file."""
+    """Append one ``repro.qa.bench/v1`` entry to a history file.
+
+    The entry is also published as a standalone envelope under
+    ``benchmarks/results/envelopes/`` so ``repro sweep report`` can
+    aggregate hand-run benchmark results through its flat-directory
+    loader alongside sweep runs.
+    """
     history = bench_history(path)
     history.append(entry)
     text = json.dumps(history, indent=2, sort_keys=True)
     pathlib.Path(path).write_text(text + "\n")
+    publish_envelope(pathlib.Path(path).stem, entry)
+
+
+def publish_envelope(stem: str, entry: dict) -> None:
+    """Write one bench/v1 envelope file under results/envelopes."""
+    envelopes = RESULTS_DIR / "envelopes"
+    envelopes.mkdir(parents=True, exist_ok=True)
+    design = entry.get("design", "design")
+    scale = entry.get("scale", 0)
+    name = f"{stem}-{design}@{scale:g}.json"
+    text = json.dumps(migrate_bench_entry(entry), indent=2,
+                      sort_keys=True)
+    (envelopes / name).write_text(text + "\n")
 
 
 def publish(name: str, text: str) -> None:

@@ -10,6 +10,10 @@ The deployment surface a downstream user drives:
 * ``render``   -- draw the pin access view of a LEF/DEF pair as SVG.
 * ``qa``       -- golden-result regression gates: ``snapshot``,
   ``check``, ``accept`` and ``diff`` over the committed corpus.
+* ``sweep``    -- manifest-driven DSE sweeps: ``run`` a YAML/JSON
+  spec into a resumable run directory, ``status`` it, and ``report``
+  the trend with a regression gate against goldens and
+  ``BENCH_*.json`` baselines.
 * ``serve``    -- host the analyzed design as a long-lived daemon
   (the ``repro.serve/v1`` protocol over TCP or a Unix socket).
 * ``query``    -- client for a running daemon: pin queries, placement
@@ -254,6 +258,62 @@ def _build_parser() -> argparse.ArgumentParser:
     dif.add_argument("--cases", nargs="*", default=None,
                      help="subset of golden case ids (default: all)")
     dif.set_defaults(handler=_cmd_qa_diff)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="manifest-driven DSE sweeps with a trend/regression gate",
+    )
+    swp.set_defaults(handler=_cmd_sweep_help, sweep_parser=swp)
+    swp_sub = swp.add_subparsers(dest="sweep_command")
+
+    srun = swp_sub.add_parser(
+        "run", help="execute a sweep spec into a resumable run directory"
+    )
+    srun.add_argument("spec", help="sweep spec path (.yaml subset or .json)")
+    srun.add_argument("--dir", dest="run_dir",
+                      help="run directory (default: sweep-runs/<name>)")
+    srun.add_argument("--workers", type=int,
+                      help="concurrent point processes (default: spec "
+                           "option or 2)")
+    srun.add_argument("--timeout", type=float,
+                      help="per-point timeout in seconds (default: spec "
+                           "option or 1800)")
+    srun.set_defaults(handler=_cmd_sweep_run)
+
+    sst = swp_sub.add_parser(
+        "status", help="summarize a sweep run directory point by point"
+    )
+    sst.add_argument("run_dir", help="sweep run directory")
+    sst.add_argument("--json", dest="as_json", action="store_true",
+                     help="print the status payload as JSON")
+    sst.set_defaults(handler=_cmd_sweep_status)
+
+    srep = swp_sub.add_parser(
+        "report",
+        help="aggregate a run's envelopes into a gated trend report",
+    )
+    srep.add_argument("run_dir", help="sweep run directory (or a "
+                                      "directory of bench envelopes)")
+    srep.add_argument("--against", action="append", default=[],
+                      metavar="BENCH.json",
+                      help="baseline history to gate against "
+                           "(repeatable)")
+    srep.add_argument("--goldens", default="goldens",
+                      help="golden corpus for fingerprint/metric "
+                           "checks (default: goldens)")
+    srep.add_argument("--no-goldens", action="store_true",
+                      help="skip the golden comparison")
+    srep.add_argument("--tolerances",
+                      help="JSON file of regression tolerances "
+                           "({key: {abs, rel}}, '_perf_default' for "
+                           "the perf fallback)")
+    srep.add_argument("--md", dest="md_path",
+                      help="write the markdown trend report here")
+    srep.add_argument("--json", dest="json_path",
+                      help="write the report JSON here")
+    srep.add_argument("--fail-on-regress", action="store_true",
+                      help="exit non-zero when any check regresses")
+    srep.set_defaults(handler=_cmd_sweep_report)
 
     return parser
 
@@ -826,6 +886,142 @@ def _cmd_qa_diff(args) -> int:
         else:
             print(f"{cid}: identical")
     return 1 if drifted else 0
+
+
+def _cmd_sweep_help(args) -> int:
+    args.sweep_parser.print_help()
+    return 2
+
+
+def _cmd_sweep_run(args) -> int:
+    import os
+
+    from repro.sweep import SpecError, load_spec, run_sweep
+
+    try:
+        spec = load_spec(args.spec)
+    except OSError as exc:
+        raise CliError(f"cannot read spec {args.spec!r}: {exc}") from exc
+    except SpecError as exc:
+        raise CliError(str(exc)) from exc
+    run_dir = args.run_dir or os.path.join("sweep-runs", spec.name)
+    try:
+        summary = run_sweep(
+            spec,
+            run_dir,
+            workers=args.workers,
+            point_timeout_s=args.timeout,
+            out=print,
+        )
+    except OSError as exc:
+        raise CliError(f"cannot use run dir {run_dir!r}: {exc}") from exc
+    print(
+        f"sweep {spec.name!r}: {len(summary['done'])} done, "
+        f"{len(summary['skipped'])} cached, "
+        f"{len(summary['failed'])} failed, "
+        f"{len(summary['timeout'])} timed out "
+        f"({summary['wall_s']:.2f}s, {run_dir})"
+    )
+    return 0 if not (summary["failed"] or summary["timeout"]) else 1
+
+
+def _cmd_sweep_status(args) -> int:
+    import json
+
+    from repro.report import format_table
+    from repro.sweep import sweep_status
+
+    status = sweep_status(args.run_dir)
+    if not status["points"]:
+        raise CliError(f"no sweep points under {args.run_dir!r}")
+    if args.as_json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                point["key"],
+                point["state"],
+                "-" if point["wall_s"] is None
+                else f"{point['wall_s']:.2f}",
+                point.get("error") or "",
+            ]
+            for point in status["points"]
+        ]
+        title = f"Sweep status: {status['name'] or args.run_dir}"
+        print(format_table(["point", "state", "wall (s)", "error"],
+                           rows, title=title))
+        counts = ", ".join(
+            f"{count} {state}"
+            for state, count in sorted(status["counts"].items())
+        )
+        print(counts)
+    incomplete = sum(
+        count
+        for state, count in status["counts"].items()
+        if state != "done"
+    )
+    return 0 if not incomplete else 1
+
+
+def _cmd_sweep_report(args) -> int:
+    import json
+    import os
+
+    from repro.qa.metrics import migrate_bench_entry
+    from repro.sweep import build_report, load_rows, render_markdown
+
+    rows = load_rows(args.run_dir)
+    if not rows:
+        raise CliError(f"no sweep envelopes under {args.run_dir!r}")
+    baselines = []
+    for path in args.against:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CliError(
+                f"cannot read --against {path!r}: {exc}"
+            ) from exc
+        entries = payload if isinstance(payload, list) else [payload]
+        if not entries:
+            raise CliError(f"--against {path!r} holds no entries")
+        baselines.append(
+            (os.path.basename(path),
+             [migrate_bench_entry(e) for e in entries])
+        )
+    tolerances = None
+    if args.tolerances:
+        try:
+            with open(args.tolerances) as handle:
+                tolerances = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CliError(
+                f"cannot read --tolerances {args.tolerances!r}: {exc}"
+            ) from exc
+    report = build_report(
+        rows,
+        baselines=baselines,
+        goldens_dir=None if args.no_goldens else args.goldens,
+        tolerances=tolerances,
+    )
+    markdown = render_markdown(
+        report, title=f"Sweep trend report: {args.run_dir}"
+    )
+    print(markdown, end="")
+    if args.md_path:
+        with open(args.md_path, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.md_path}")
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_path}")
+    if report["regressions"]:
+        print(f"regressions: {len(report['regressions'])}")
+        if args.fail_on_regress:
+            return 1
+    return 0
 
 
 def _cmd_render(args) -> int:

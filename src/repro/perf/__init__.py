@@ -15,13 +15,14 @@ through the flow:
   into ``PinAccessResult.stats``.
 """
 
-from repro.perf.apcache import AccessCache, paaf_fingerprint
+from repro.perf.apcache import AccessCache, paaf_fingerprint, perf_mode_key
 from repro.perf.parallel import effective_jobs, parallel_map
 from repro.perf.profile import Profiler, active_profiler, tick, timed
 
 __all__ = [
     "AccessCache",
     "paaf_fingerprint",
+    "perf_mode_key",
     "parallel_map",
     "effective_jobs",
     "Profiler",

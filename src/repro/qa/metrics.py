@@ -108,15 +108,39 @@ def _ratio(num: int, den: int) -> float:
     return round(num / den, 6) if den else 0.0
 
 
+def gate_value(want, have, direction: str, tolerance: dict = None) -> str:
+    """Classify one golden-vs-current value pair.
+
+    Returns ``ok`` (unchanged), ``improved``, ``tolerated``
+    (regressed within the ``{"abs": x, "rel": y}`` tolerance) or
+    ``regressed`` (the failing verdict).  ``direction`` names which
+    way is better (``higher`` or ``lower``); a missing current value
+    is always a regression.
+    """
+    if have is None:
+        return "regressed"
+    delta = have - want
+    worse = delta < 0 if direction == "higher" else delta > 0
+    if delta == 0:
+        return "ok"
+    if not worse:
+        return "improved"
+    tol = tolerance or {}
+    allowed = max(
+        float(tol.get("abs", 0)),
+        float(tol.get("rel", 0)) * abs(want),
+    )
+    return "tolerated" if abs(delta) <= allowed else "regressed"
+
+
 def compare_metrics(
     golden: dict, current: dict, tolerances: dict = None
 ) -> list:
     """Gate ``current`` against ``golden`` metric by metric.
 
     Returns one row per gated metric:
-    ``(name, golden value, current value, status)`` where status is
-    ``ok`` (unchanged), ``improved``, ``tolerated`` (regressed within
-    tolerance) or ``regressed`` (the failing verdict).
+    ``(name, golden value, current value, status)`` -- the statuses of
+    :func:`gate_value`.
     """
     tolerances = {**DEFAULT_TOLERANCES, **(tolerances or {})}
     rows = []
@@ -125,22 +149,7 @@ def compare_metrics(
             continue
         want = golden[name]
         have = current.get(name)
-        if have is None:
-            rows.append((name, want, have, "regressed"))
-            continue
-        delta = have - want
-        worse = delta < 0 if direction == "higher" else delta > 0
-        if delta == 0:
-            status = "ok"
-        elif not worse:
-            status = "improved"
-        else:
-            tol = tolerances.get(name, {})
-            allowed = max(
-                float(tol.get("abs", 0)),
-                float(tol.get("rel", 0)) * abs(want),
-            )
-            status = "tolerated" if abs(delta) <= allowed else "regressed"
+        status = gate_value(want, have, direction, tolerances.get(name))
         rows.append((name, want, have, status))
     return rows
 
@@ -148,6 +157,72 @@ def compare_metrics(
 def regressions(rows: list) -> list:
     """Filter :func:`compare_metrics` rows down to the failing ones."""
     return [row for row in rows if row[3] == "regressed"]
+
+
+# -- perf (BENCH envelope) comparison ----------------------------------------
+
+#: The perf gate's default when a key has no explicit tolerance: a
+#: timing may regress up to 100% before failing.  Perf numbers carry
+#: host noise that quality metrics do not, so the default is loose;
+#: sweeps and CI tighten or widen it per key via ``tolerances``.
+PERF_DEFAULT_TOLERANCE = {"rel": 1.0}
+
+#: The tolerance-dict key holding the fallback for un-named perf keys.
+PERF_DEFAULT_KEY = "_perf_default"
+
+_LOWER_SUFFIXES = ("_s", "_ms", "_ns", "_seconds", ".seconds", "_calls")
+_HIGHER_SUFFIXES = ("_per_s", "_qps", "_speedup", "_reduction")
+
+
+def perf_direction(name: str) -> str:
+    """Infer which way is better for a perf key, or ``None``.
+
+    Timings and call counts regress upward; rates and speedups
+    regress downward.  Keys whose direction cannot be inferred return
+    ``None`` and are reported for information only, never gated.
+    """
+    if name.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    if name.endswith(_HIGHER_SUFFIXES) or "qps" in name:
+        return "higher"
+    if "speedup" in name:
+        return "higher"
+    return None
+
+
+def perf_tolerance(name: str, tolerances: dict = None) -> dict:
+    """Resolve the tolerance for one perf key.
+
+    Precedence: an exact key entry, then the ``_perf_default`` entry,
+    then :data:`PERF_DEFAULT_TOLERANCE`.
+    """
+    tolerances = tolerances or {}
+    if name in tolerances:
+        return tolerances[name]
+    return tolerances.get(PERF_DEFAULT_KEY, PERF_DEFAULT_TOLERANCE)
+
+
+def compare_bench_perf(
+    golden_perf: dict, current_perf: dict, tolerances: dict = None
+) -> list:
+    """Gate two ``repro.qa.bench/v1`` ``perf`` maps key by key.
+
+    Only keys present in both maps with an inferable direction are
+    gated; rows follow the :func:`compare_metrics` shape.
+    """
+    rows = []
+    for name in sorted(set(golden_perf) & set(current_perf)):
+        direction = perf_direction(name)
+        if direction is None:
+            continue
+        want, have = golden_perf[name], current_perf[name]
+        if not isinstance(want, (int, float)) or isinstance(want, bool):
+            continue
+        status = gate_value(
+            want, have, direction, perf_tolerance(name, tolerances)
+        )
+        rows.append((name, want, have, status))
+    return rows
 
 
 # -- BENCH_*.json envelope ---------------------------------------------------

@@ -1,0 +1,518 @@
+"""Sweep execution: resumable, isolated, fingerprint-keyed run dirs.
+
+Each run point of a :class:`~repro.sweep.spec.SweepSpec` executes in
+its own directory under ``<run_dir>/points/<key>``, where the key
+binds together
+
+* the point's design identity (``design@scale`` plus any node
+  override),
+* the AP-cache **config fingerprint**
+  (:func:`repro.perf.apcache.paaf_fingerprint`) over everything that
+  affects results, and
+* the **perf-mode key** (:func:`repro.perf.apcache.perf_mode_key`)
+  over the knobs that only affect how fast results arrive (``jobs``,
+  ``paircheck_mode``, ``apcheck_mode``).
+
+A completed point (``status.json`` state ``done`` with a matching
+fingerprint and an ``envelope.json``) is **skipped** on re-run; an
+interrupted or failed point directory is scrubbed and re-executed
+cleanly.  Points run under a bounded pool of worker *processes* --
+one process per point -- so a crashing point marks itself ``failed``
+without killing the sweep, and a point exceeding the per-point
+timeout is terminated and marked ``timeout``.
+
+Each successful point rolls its timings, obs stats, quality metrics
+and qa result fingerprint into one ``repro.qa.bench/v1`` envelope
+(``envelope.json``), the unit the reporter aggregates and gates.
+
+Two environment hooks exist purely for the resumability tests:
+``REPRO_SWEEP_TEST_CRASH`` hard-kills a worker whose key contains the
+value (simulating a mid-run crash that leaves a ``running`` status
+behind) and ``REPRO_SWEEP_TEST_HANG`` makes it sleep forever
+(exercising the timeout path).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import sys
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sweep.spec import SweepSpec
+
+RUN_SCHEMA = "repro.sweep.run/v1"
+STATUS_SCHEMA = "repro.sweep.status/v1"
+LAST_RUN_SCHEMA = "repro.sweep.last_run/v1"
+
+#: Worker exit code for the simulated crash (tests only).
+CRASH_EXIT_CODE = 23
+
+DEFAULT_WORKERS = 2
+DEFAULT_POINT_TIMEOUT_S = 1800.0
+
+
+@dataclass(frozen=True)
+class PlannedPoint:
+    """One expanded run point with its directory key resolved."""
+
+    key: str
+    point: dict
+    fingerprint: str
+    perf_key: str
+
+
+def point_config(point: dict, cache_dir: str = None, profile: bool = True):
+    """Build the :class:`PaafConfig` a point runs under."""
+    from repro.core import PaafConfig
+    from repro.sweep.spec import POINT_FIELDS
+
+    kwargs = {
+        name: point[name]
+        for name, (_, kind) in POINT_FIELDS.items()
+        if kind == "config" and name in point
+    }
+    return PaafConfig(cache_dir=cache_dir, profile=profile, **kwargs)
+
+
+def build_point_design(point: dict):
+    """Generate the point's design (node override included)."""
+    import dataclasses as dc
+
+    from repro.bench.ispd18 import build_testcase, testcase_spec
+
+    spec = testcase_spec(point["design"])
+    if point.get("node"):
+        spec = dc.replace(spec, node=point["node"])
+    kwargs = {}
+    if "utilization" in point:
+        kwargs["utilization"] = point["utilization"]
+    if "multi_height_fraction" in point:
+        kwargs["multi_height_fraction"] = point["multi_height_fraction"]
+    return build_testcase(spec, scale=point["scale"], **kwargs)
+
+
+def point_label(point: dict) -> str:
+    """Human prefix of a point key: ``design@scale`` plus node."""
+    label = f"{point['design']}@{point['scale']:g}"
+    if point.get("node"):
+        label += f".{point['node']}"
+    return label
+
+
+def plan_points(spec: SweepSpec) -> list:
+    """Resolve every point's run-directory key.
+
+    The key embeds the AP-cache config fingerprint (so a quality-knob
+    change lands in a fresh directory and the old one reads as stale)
+    and the perf-mode key (so ``jobs=1`` and ``jobs=2`` variants of
+    the same configuration keep separate timings).  Designs are built
+    once per unique geometry to price the fingerprints.
+    """
+    from repro.perf.apcache import paaf_fingerprint, perf_mode_key
+
+    designs = {}
+    planned = []
+    for point in spec.points:
+        geometry = tuple(
+            (name, point.get(name))
+            for name in (
+                "design",
+                "scale",
+                "node",
+                "utilization",
+                "multi_height_fraction",
+            )
+        )
+        if geometry not in designs:
+            designs[geometry] = build_point_design(point)
+        config = point_config(point)
+        fingerprint = paaf_fingerprint(designs[geometry], config)
+        perf_key = perf_mode_key(config)
+        key = (
+            f"{point_label(point)}-{fingerprint[:12]}-{perf_key[:6]}"
+        )
+        planned.append(
+            PlannedPoint(
+                key=key,
+                point=dict(point),
+                fingerprint=fingerprint,
+                perf_key=perf_key,
+            )
+        )
+    return planned
+
+
+def point_dir(run_dir: str, key: str) -> str:
+    """Return the directory one point executes in."""
+    return os.path.join(run_dir, "points", key)
+
+
+def _write_json(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def _read_json(path: str):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _write_status(directory: str, state: str, key: str, **extra) -> None:
+    payload = {"schema": STATUS_SCHEMA, "state": state, "key": key}
+    payload.update(extra)
+    _write_json(os.path.join(directory, "status.json"), payload)
+
+
+# -- the per-point worker -----------------------------------------------------
+
+
+def _point_main(run_dir: str, key: str, point: dict, cache_dir: str) -> int:
+    """Execute one point inside its own process.
+
+    Everything user-visible lands in the point directory: stdout and
+    stderr in ``log.txt``, the ``repro.qa.bench/v1`` payload in
+    ``envelope.json`` and the terminal state in ``status.json``.
+    Returns the process exit code (0 on success).
+    """
+    directory = point_dir(run_dir, key)
+    log_path = os.path.join(directory, "log.txt")
+    with open(log_path, "a") as log:
+        old_out, old_err = sys.stdout, sys.stderr
+        sys.stdout = sys.stderr = log
+        try:
+            _write_status(
+                directory,
+                "running",
+                key,
+                pid=os.getpid(),
+                started_unix=round(time.time(), 3),
+            )
+            _test_hooks(key)
+            started = time.perf_counter()
+            envelope = _execute_point(point, key, cache_dir)
+            wall_s = round(time.perf_counter() - started, 6)
+            _write_json(
+                os.path.join(directory, "envelope.json"), envelope
+            )
+            _write_status(
+                directory,
+                "done",
+                key,
+                wall_s=wall_s,
+                finished_unix=round(time.time(), 3),
+            )
+            return 0
+        except Exception as exc:
+            traceback.print_exc(file=log)
+            _write_status(
+                directory,
+                "failed",
+                key,
+                error=f"{type(exc).__name__}: {exc}",
+                finished_unix=round(time.time(), 3),
+            )
+            return 1
+        finally:
+            sys.stdout, sys.stderr = old_out, old_err
+
+
+def _test_hooks(key: str) -> None:
+    crash = os.environ.get("REPRO_SWEEP_TEST_CRASH")
+    if crash and crash in key:
+        # Simulate a hard crash: no status update, no cleanup.  The
+        # parent (or the next run) must cope with the stale
+        # ``running`` state this leaves behind.
+        os._exit(CRASH_EXIT_CODE)
+    hang = os.environ.get("REPRO_SWEEP_TEST_HANG")
+    if hang and hang in key:
+        while True:  # pragma: no cover - killed by the timeout path
+            time.sleep(0.2)
+
+
+def _execute_point(point: dict, key: str, cache_dir: str) -> dict:
+    from repro.core import PinAccessFramework
+    from repro.core.framework import evaluate_failed_pins
+    from repro.qa.metrics import bench_entry, quality_metrics
+
+    design = build_point_design(point)
+    config = point_config(point, cache_dir=cache_dir)
+    framework = PinAccessFramework(design, config)
+    result = framework.run()
+    failed = evaluate_failed_pins(design, result.access_map())
+    metrics = quality_metrics(result, failed)
+    timings = dict(result.timings)
+    total = timings.get("total", 0.0)
+    connected = len(design.connected_pins())
+    perf = {
+        "analyze_s": round(total, 6),
+        "qps_pins": round(connected / total, 3) if total else 0.0,
+    }
+    for step in ("step1", "step2", "step3"):
+        if step in timings:
+            perf[f"{step}_s"] = round(timings[step], 6)
+    entry = bench_entry(
+        design=design.name,
+        scale=point["scale"],
+        cells=design.stats()["num_std_cells"],
+        perf=perf,
+        context={"point": dict(point), "key": key},
+        metrics=metrics,
+    )
+    entry["fingerprint"] = result.fingerprint().to_json()
+    entry["stats"] = dict(result.stats)
+    return entry
+
+
+# -- the sweep scheduler ------------------------------------------------------
+
+
+def run_sweep(
+    spec: SweepSpec,
+    run_dir: str,
+    workers: int = None,
+    point_timeout_s: float = None,
+    out=None,
+) -> dict:
+    """Execute a sweep into ``run_dir``; return the invocation summary.
+
+    Completed points whose key (config fingerprint + perf mode) is
+    already on disk are skipped; everything else runs under at most
+    ``workers`` concurrent processes with a per-point timeout.  The
+    summary is also persisted as ``<run_dir>/last_run.json`` so CI can
+    assert cache behavior (e.g. "a re-run executes zero points").
+    """
+    out = out or (lambda *_: None)
+    workers = _resolve(workers, spec.options.get("workers"), DEFAULT_WORKERS)
+    point_timeout_s = _resolve(
+        point_timeout_s,
+        spec.options.get("point_timeout_s"),
+        DEFAULT_POINT_TIMEOUT_S,
+    )
+    os.makedirs(os.path.join(run_dir, "points"), exist_ok=True)
+    cache_dir = spec.options.get("cache_dir", "apcache")
+    if not os.path.isabs(cache_dir):
+        cache_dir = os.path.join(run_dir, cache_dir)
+
+    planned = plan_points(spec)
+    _write_json(
+        os.path.join(run_dir, "spec.json"),
+        {
+            "name": spec.name,
+            "points": list(spec.points),
+            "options": spec.options,
+            "digest": spec.digest,
+        },
+    )
+    _write_json(
+        os.path.join(run_dir, "sweep.json"),
+        {
+            "schema": RUN_SCHEMA,
+            "name": spec.name,
+            "spec_digest": spec.digest,
+            "points": [pp.key for pp in planned],
+        },
+    )
+
+    started = time.perf_counter()
+    skipped, to_run = [], []
+    for pp in planned:
+        if _is_cached(run_dir, pp):
+            skipped.append(pp.key)
+            out(f"[cached] {pp.key}")
+        else:
+            _scrub_point(run_dir, pp)
+            to_run.append(pp)
+
+    states = _schedule(
+        run_dir, to_run, workers, point_timeout_s, cache_dir, out
+    )
+    summary = {
+        "schema": LAST_RUN_SCHEMA,
+        "name": spec.name,
+        "spec_digest": spec.digest,
+        "workers": workers,
+        "point_timeout_s": point_timeout_s,
+        "skipped": sorted(skipped),
+        "executed": sorted(states),
+        "done": sorted(k for k, s in states.items() if s == "done"),
+        "failed": sorted(k for k, s in states.items() if s == "failed"),
+        "timeout": sorted(k for k, s in states.items() if s == "timeout"),
+        "wall_s": round(time.perf_counter() - started, 6),
+    }
+    _write_json(os.path.join(run_dir, "last_run.json"), summary)
+    return summary
+
+
+def _resolve(*candidates):
+    for candidate in candidates:
+        if candidate is not None:
+            return candidate
+    return None
+
+
+def _is_cached(run_dir: str, pp: PlannedPoint) -> bool:
+    directory = point_dir(run_dir, pp.key)
+    status = _read_json(os.path.join(directory, "status.json"))
+    if not status or status.get("state") != "done":
+        return False
+    if not os.path.exists(os.path.join(directory, "envelope.json")):
+        return False
+    meta = _read_json(os.path.join(directory, "point.json"))
+    return bool(meta) and meta.get("fingerprint") == pp.fingerprint
+
+
+def _scrub_point(run_dir: str, pp: PlannedPoint) -> None:
+    directory = point_dir(run_dir, pp.key)
+    if os.path.isdir(directory):
+        shutil.rmtree(directory)
+    os.makedirs(directory)
+    _write_json(
+        os.path.join(directory, "point.json"),
+        {
+            "key": pp.key,
+            "point": pp.point,
+            "fingerprint": pp.fingerprint,
+            "perf_key": pp.perf_key,
+        },
+    )
+
+
+def _schedule(
+    run_dir, to_run, workers, point_timeout_s, cache_dir, out
+) -> dict:
+    """Run the pending points under a bounded process pool."""
+    states = {}
+    pending = deque(to_run)
+    live = {}
+    context = multiprocessing.get_context()
+    while pending or live:
+        while pending and len(live) < max(1, workers):
+            pp = pending.popleft()
+            try:
+                process = context.Process(
+                    target=_point_entry,
+                    args=(run_dir, pp.key, pp.point, cache_dir),
+                    name=f"sweep-{pp.key}",
+                )
+                process.start()
+            except OSError:
+                # Platforms without process support degrade to
+                # in-process execution (no timeout enforcement), the
+                # same posture as repro.perf.parallel.
+                code = _point_main(run_dir, pp.key, pp.point, cache_dir)
+                states[pp.key] = _finalize(run_dir, pp.key, code, out)
+                continue
+            live[pp.key] = (process, time.monotonic() + point_timeout_s)
+        if not live:
+            continue
+        time.sleep(0.02)
+        for key, (process, deadline) in list(live.items()):
+            if process.is_alive():
+                if time.monotonic() < deadline:
+                    continue
+                process.terminate()
+                process.join(5.0)
+                if process.is_alive():  # pragma: no cover
+                    process.kill()
+                    process.join(5.0)
+                _write_status(
+                    point_dir(run_dir, key),
+                    "timeout",
+                    key,
+                    error=f"point exceeded {point_timeout_s:g}s",
+                    finished_unix=round(time.time(), 3),
+                )
+                states[key] = "timeout"
+                out(f"[timeout] {key}")
+                del live[key]
+                continue
+            process.join()
+            del live[key]
+            states[key] = _finalize(run_dir, key, process.exitcode, out)
+    return states
+
+
+def _point_entry(run_dir, key, point, cache_dir):  # pragma: no cover
+    sys.exit(_point_main(run_dir, key, point, cache_dir))
+
+
+def _finalize(run_dir: str, key: str, exitcode: int, out) -> str:
+    """Reconcile a finished worker's on-disk state with its exit code."""
+    directory = point_dir(run_dir, key)
+    status = _read_json(os.path.join(directory, "status.json")) or {}
+    state = status.get("state")
+    if state == "done" and exitcode == 0:
+        out(f"[done] {key} ({status.get('wall_s', 0):.2f}s)")
+        return "done"
+    if state != "failed":
+        # The worker died without reaching its own failure handler
+        # (hard crash, signal): record what the parent knows.
+        _write_status(
+            directory,
+            "failed",
+            key,
+            error=f"worker exited with code {exitcode}",
+            returncode=exitcode,
+            finished_unix=round(time.time(), 3),
+        )
+    out(f"[failed] {key} (exit {exitcode})")
+    return "failed"
+
+
+# -- status -------------------------------------------------------------------
+
+
+def sweep_status(run_dir: str) -> dict:
+    """Summarize a run directory point by point.
+
+    Points are read from the ``sweep.json`` manifest when present
+    (so stale directories from an edited spec are ignored), falling
+    back to a scan of ``points/``.
+    """
+    manifest = _read_json(os.path.join(run_dir, "sweep.json"))
+    points_root = os.path.join(run_dir, "points")
+    if manifest and manifest.get("points"):
+        keys = list(manifest["points"])
+    elif os.path.isdir(points_root):
+        keys = sorted(os.listdir(points_root))
+    else:
+        keys = []
+    points = []
+    counts = {}
+    for key in keys:
+        directory = os.path.join(points_root, key)
+        status = _read_json(os.path.join(directory, "status.json")) or {}
+        meta = _read_json(os.path.join(directory, "point.json")) or {}
+        state = status.get("state", "pending")
+        counts[state] = counts.get(state, 0) + 1
+        points.append(
+            {
+                "key": key,
+                "state": state,
+                "wall_s": status.get("wall_s"),
+                "error": status.get("error"),
+                "point": meta.get("point", {}),
+                "has_envelope": os.path.exists(
+                    os.path.join(directory, "envelope.json")
+                ),
+            }
+        )
+    return {
+        "schema": STATUS_SCHEMA,
+        "run_dir": run_dir,
+        "name": (manifest or {}).get("name"),
+        "counts": counts,
+        "points": points,
+    }
