@@ -7,16 +7,23 @@ Measures the ``repro.serve`` daemon end to end over a Unix socket:
 * ``query_batch`` throughput in pins/second with 1 and 4 concurrent
   client connections, the bulk-evaluation path;
 * one ``move_instance`` edit latency, the write-path cost of an
-  incremental repair plus snapshot publication.
+  incremental repair plus snapshot publication;
+* the telemetry A/B: the same workload against a second server with
+  full request telemetry (RED windows + SLO + access log + wire
+  tracing) quantifies the instrumented overhead, recorded in the
+  envelope context -- the untelemetered numbers above are the
+  headline and must not regress.
 
 Results go into ``BENCH_serve.json`` at the repo root (shared
-``repro.qa.bench/v1`` envelope).  Correctness is asserted
+``repro.qa.bench/v1`` envelope) and, like the other benches, a
+standalone envelope lands under ``benchmarks/results/envelopes/``
+for ``repro sweep report``.  Correctness is asserted
 unconditionally: every served answer must equal the in-process
 :class:`PinAccessOracle` answer bit for bit, and concurrent batches
 must carry a single generation stamp.
 
 Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the design and skip the
-JSON append.
+JSON append (the envelope is still published).
 """
 
 import os
@@ -27,13 +34,23 @@ import time
 from repro.bench import build_testcase
 from repro.core import PinAccessFramework
 from repro.core.oracle import PinAccessOracle
+from repro.obs.accesslog import AccessLog
 from repro.report import format_table
-from repro.serve import DesignSession, OracleClient, OracleServer
+from repro.serve import (
+    DesignSession,
+    OracleClient,
+    OracleServer,
+    ServeTelemetry,
+)
 from repro.serve.protocol import answer_to_wire
 
 from repro.qa.metrics import bench_entry
 
-from benchmarks.conftest import append_bench_entry, publish
+from benchmarks.conftest import (
+    append_bench_entry,
+    publish,
+    publish_envelope,
+)
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 SCALE = 0.004 if SMOKE else 0.01
@@ -56,13 +73,13 @@ def _percentile(samples, fraction):
     return ordered[index]
 
 
-def _batch_rate(address, pins, threads, rounds):
+def _batch_rate(address, pins, threads, rounds, trace=False):
     """Pins/second of ``query_batch`` across ``threads`` connections."""
     done = []
     lock = threading.Lock()
 
     def worker():
-        with OracleClient(address) as client:
+        with OracleClient(address, trace=trace) as client:
             for _ in range(rounds):
                 answers = client.query_batch(pins)
                 assert len(answers) == len(pins)
@@ -139,8 +156,40 @@ def test_serve_throughput(once, tmp_path):
     finally:
         server.stop()
 
+    # Telemetry A/B: the same session behind a second server running
+    # the full bundle (RED + SLO + access log + wire tracing), driven
+    # by a tracing client -- the worst-case instrumented path.  Runs
+    # after the plain server stops so the two never compete for
+    # cores; the overhead lands in the envelope context, not perf.
+    telemetry = ServeTelemetry(
+        access_log=AccessLog(
+            str(tmp_path / "access.jsonl"), slow_ms=1e9
+        ),
+    )
+    server_on = OracleServer(
+        ("unix", str(tmp_path / "serve-telemetry.sock")),
+        sessions={"bench": session},
+        telemetry=telemetry,
+    )
+    server_on.start()
+    try:
+        latencies_on = []
+        with OracleClient(server_on.address, trace=True) as client:
+            for i in range(SINGLES):
+                inst, pin = pins[i % len(pins)]
+                t0 = time.perf_counter()
+                client.query(inst, pin)
+                latencies_on.append(time.perf_counter() - t0)
+        rate1_on, _ = _batch_rate(
+            server_on.address, pins, threads=1, rounds=BATCH_ROUNDS,
+            trace=True,
+        )
+    finally:
+        server_on.stop()
+
     p50_ms = _percentile(latencies, 0.50) * 1e3
     p99_ms = _percentile(latencies, 0.99) * 1e3
+    p50_on_ms = _percentile(latencies_on, 0.50) * 1e3
 
     entry = bench_entry(
         design.name,
@@ -158,9 +207,22 @@ def test_serve_throughput(once, tmp_path):
         derived={
             "thread_scaling": round(rate4 / max(1e-9, rate1), 2),
         },
-        context={"cpu_count": os.cpu_count()},
+        context={
+            "telemetry": {
+                "query_p50_ms_on": round(p50_on_ms, 4),
+                "batch_qps_1thread_on": round(rate1_on),
+                "query_p50_overhead_pct": round(
+                    100.0 * (p50_on_ms - p50_ms) / max(1e-9, p50_ms),
+                    1,
+                ),
+                "batch_qps_overhead_pct": round(
+                    100.0 * (rate1 - rate1_on) / max(1e-9, rate1), 1
+                ),
+            },
+        },
     )
     perf = entry["perf"]
+    overhead = entry["context"]["telemetry"]
 
     rows = [
         ["single query p50", f"{p50_ms:.3f} ms", "-"],
@@ -171,6 +233,11 @@ def test_serve_throughput(once, tmp_path):
          f"{perf['batch_qps_4threads']}/s"],
         ["move_instance", f"{perf['move_ms']:.1f} ms", "-"],
         ["initial analyze", f"{perf['analyze_s']:.2f} s", "-"],
+        ["p50 w/ telemetry", f"{p50_on_ms:.3f} ms",
+         f"+{overhead['query_p50_overhead_pct']}%"],
+        ["batch x1 w/ telemetry", "-",
+         f"{overhead['batch_qps_1thread_on']}/s "
+         f"(-{overhead['batch_qps_overhead_pct']}%)"],
     ]
     text = format_table(
         ["Path", "time", "pins/s"],
@@ -184,5 +251,7 @@ def test_serve_throughput(once, tmp_path):
     publish("serve_throughput_smoke" if SMOKE else "serve_throughput",
             text)
 
-    if not SMOKE:
+    if SMOKE:
+        publish_envelope(BENCH_JSON.stem, entry)
+    else:
         append_bench_entry(BENCH_JSON, entry)

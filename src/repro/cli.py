@@ -15,9 +15,15 @@ The deployment surface a downstream user drives:
   the trend with a regression gate against goldens and
   ``BENCH_*.json`` baselines.
 * ``serve``    -- host the analyzed design as a long-lived daemon
-  (the ``repro.serve/v1`` protocol over TCP or a Unix socket).
+  (the ``repro.serve/v1`` protocol over TCP or a Unix socket), with
+  optional request telemetry: per-op RED windows, SLO evaluation,
+  access logging, slow-request trace spooling and an HTTP metrics
+  sidecar.
 * ``query``    -- client for a running daemon: pin queries, placement
-  edits, stats/health/metrics scrapes and graceful shutdown.
+  edits, stats/health/metrics scrapes and graceful shutdown;
+  ``--timing`` prints the traced per-phase breakdown of each query.
+* ``top``      -- live terminal dashboard over a running daemon:
+  per-op QPS and latency quantiles, SLO state, session table.
 
 User-facing failures (unreadable inputs, bad option values) exit
 non-zero with a one-line message; tracebacks are reserved for bugs.
@@ -197,6 +203,32 @@ def _build_parser() -> argparse.ArgumentParser:
                      default="array",
                      help="Step 1/3 candidate backend for the hosted "
                           "analyses")
+    srv.add_argument("--telemetry", action="store_true",
+                     help="enable request telemetry: per-op RED "
+                          "windows, SLO evaluation in 'health', wire "
+                          "trace propagation")
+    srv.add_argument("--slo", dest="slo_path", metavar="JSON",
+                     help="objective table (JSON list of {name, op, "
+                          "signal, threshold}); implies --telemetry")
+    srv.add_argument("--access-log", dest="access_log", metavar="JSONL",
+                     help="write the repro.serve.access/v1 request "
+                          "log here; implies --telemetry")
+    srv.add_argument("--access-log-sample", type=int, default=1,
+                     metavar="N",
+                     help="head-sample: log every Nth ok-and-fast "
+                          "request (errors and slow requests always "
+                          "log; default 1 = everything)")
+    srv.add_argument("--slow-ms", type=float, default=100.0,
+                     help="always-log latency threshold in ms; slow "
+                          "requests also spool their trace")
+    srv.add_argument("--spool-dir",
+                     help="dump slow-request Chrome traces here "
+                          "(requires --access-log)")
+    srv.add_argument("--http-port", type=int, metavar="PORT",
+                     help="HTTP export sidecar port (/metrics, "
+                          "/healthz, /slo.json); implies --telemetry")
+    srv.add_argument("--http-host", default="127.0.0.1",
+                     help="HTTP sidecar bind host (default loopback)")
     srv.set_defaults(handler=_cmd_serve)
 
     qry = sub.add_parser(
@@ -218,11 +250,33 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the Prometheus metrics exposition")
     qry.add_argument("--shutdown", action="store_true",
                      help="ask the daemon to drain and exit")
+    qry.add_argument("--timing", action="store_true",
+                     help="trace each single-pin query and print the "
+                          "dial/serialize/wait/parse/server breakdown")
     qry.add_argument("--json", dest="as_json", action="store_true",
                      help="print raw wire payloads as JSON")
     qry.add_argument("--timeout", type=float, default=30.0,
                      help="request timeout in seconds")
     qry.set_defaults(handler=_cmd_query)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running daemon",
+    )
+    top.add_argument("address", metavar="ADDRESS",
+                     help="daemon endpoint: unix:PATH, a socket path, "
+                          "or HOST:PORT")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N refreshes (default 0 = until "
+                          "interrupted)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append refreshes instead of clearing the "
+                          "screen")
+    top.add_argument("--timeout", type=float, default=30.0,
+                     help="request timeout in seconds")
+    top.set_defaults(handler=_cmd_top)
 
     qa = sub.add_parser(
         "qa",
@@ -564,7 +618,7 @@ def _cmd_route(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Analyze a design and host it as a pin access daemon."""
-    from repro.serve import DesignSession, OracleServer
+    from repro.serve import DesignSession, HttpExport, OracleServer
 
     design = _load(args)
     config = PaafConfig(
@@ -586,28 +640,104 @@ def _cmd_serve(args) -> int:
         if cache is not None
         else ""
     )
+    telemetry = _build_telemetry(args)
     server = OracleServer(
         _endpoint(args),
         max_clients=args.max_clients,
         request_timeout=args.request_timeout,
         drain_seconds=args.drain_seconds,
         allow_load=not args.no_load,
+        telemetry=telemetry,
     )
     server.add_session(session)
     try:
         server.start()
     except OSError as exc:
         raise CliError(f"cannot bind {_endpoint(args)!r}: {exc}") from exc
+    http = None
+    if args.http_port is not None:
+        try:
+            http = HttpExport(
+                server, host=args.http_host, port=args.http_port
+            ).start()
+        except OSError as exc:
+            server.stop(drain=False)
+            raise CliError(
+                f"cannot bind HTTP sidecar "
+                f"{args.http_host}:{args.http_port}: {exc}"
+            ) from exc
     server.install_signal_handlers()
+    extras = []
+    if telemetry is not None:
+        extras.append("telemetry on")
+    if args.access_log:
+        extras.append(f"access log {args.access_log}")
+    if http is not None:
+        extras.append(f"http {http.host}:{http.port}")
+    suffix = f" [{'; '.join(extras)}]" if extras else ""
     print(
         f"serving {session.name!r} on {_format_endpoint(server)} "
-        f"(analyze {session.analyze_seconds:.2f}s{warmth}); "
+        f"(analyze {session.analyze_seconds:.2f}s{warmth}){suffix}; "
         "SIGTERM or 'repro query --shutdown' drains",
         flush=True,
     )
     server.serve_forever()
+    if http is not None:
+        http.stop()
     print("drained, exiting")
     return 0
+
+
+def _build_telemetry(args):
+    """Resolve the serve telemetry flags into a ServeTelemetry or None.
+
+    ``--slo``, ``--access-log`` and ``--http-port`` each imply
+    ``--telemetry``; with none of them the daemon runs untelemetered
+    (the zero-overhead default).
+    """
+    import json
+
+    from repro.obs.accesslog import AccessLog
+    from repro.obs.slo import DEFAULT_OBJECTIVES, objectives_from_json
+    from repro.serve import ServeTelemetry
+
+    enabled = (
+        args.telemetry
+        or args.slo_path
+        or args.access_log
+        or args.http_port is not None
+    )
+    if not enabled:
+        if args.spool_dir:
+            raise CliError("--spool-dir requires --access-log")
+        return None
+    objectives = DEFAULT_OBJECTIVES
+    if args.slo_path:
+        try:
+            with open(args.slo_path) as handle:
+                objectives = objectives_from_json(json.load(handle))
+        except (OSError, ValueError) as exc:
+            raise CliError(
+                f"cannot read --slo {args.slo_path!r}: {exc}"
+            ) from exc
+    access_log = None
+    if args.access_log:
+        if args.access_log_sample < 1:
+            raise CliError("--access-log-sample must be >= 1")
+        try:
+            access_log = AccessLog(
+                args.access_log,
+                sample_every=args.access_log_sample,
+                slow_ms=args.slow_ms,
+                spool_dir=args.spool_dir,
+            )
+        except OSError as exc:
+            raise CliError(
+                f"cannot open --access-log {args.access_log!r}: {exc}"
+            ) from exc
+    elif args.spool_dir:
+        raise CliError("--spool-dir requires --access-log")
+    return ServeTelemetry(objectives=objectives, access_log=access_log)
 
 
 def _format_endpoint(server) -> str:
@@ -641,7 +771,7 @@ def _cmd_query(args) -> int:
         targets.append(tuple(target.split("/", 1)))
     try:
         with OracleClient(
-            _endpoint(args), timeout=args.timeout
+            _endpoint(args), timeout=args.timeout, trace=args.timing
         ) as client:
             return _run_query_actions(args, client, targets, json)
     except ConnectionFailed as exc:
@@ -683,7 +813,29 @@ def _run_query_actions(args, client, targets, json) -> int:
                 f"{payload['generation']} in "
                 f"{payload['update_seconds']}s"
             )
-    if targets:
+    if targets and args.timing:
+        # One traced single-pin request per target so each gets its
+        # own client-side phase breakdown.
+        answers = []
+        timings = []
+        for inst, pin in targets:
+            answer = client.query(inst, pin, design=args.design)
+            answers.append(answer)
+            timings.append(dict(client.last_timing))
+        if args.as_json:
+            payload = [
+                {"answer": answer, "timing": timing}
+                for answer, timing in zip(answers, timings)
+            ]
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for answer, timing in zip(answers, timings):
+                print(_format_answer(answer))
+                print(_format_timing(timing))
+        inaccessible = sum(
+            1 for a in answers if not a["accessible"]
+        )
+    elif targets:
         answers = client.query_batch(targets, design=args.design)
         if args.as_json:
             print(json.dumps(answers, indent=2, sort_keys=True))
@@ -704,6 +856,20 @@ def _run_query_actions(args, client, targets, json) -> int:
     return 1 if inaccessible else 0
 
 
+def _format_timing(timing: dict) -> str:
+    """One-line human rendering of a traced request's phase split."""
+    parts = []
+    for key in ("dial_ms", "serialize_ms", "wait_ms", "server_ms",
+                "parse_ms", "total_ms"):
+        value = timing.get(key)
+        label = key[:-3]
+        parts.append(
+            f"{label}={value:.3f}ms" if value is not None
+            else f"{label}=-"
+        )
+    return f"  timing [{timing['trace']}]: " + " ".join(parts)
+
+
 def _format_answer(answer: dict) -> str:
     name = f"{answer['instance']}/{answer['pin']}"
     selected = answer["selected"]
@@ -716,6 +882,103 @@ def _format_answer(answer: dict) -> str:
         f"{selected['layer']} via={via} "
         f"[{alts} alternatives, gen {answer['generation']}]"
     )
+
+
+def _cmd_top(args) -> int:
+    """Live terminal dashboard: poll stats/health, render, repeat."""
+    import time as _time
+
+    from repro.serve import (
+        ConnectionFailed,
+        OracleClient,
+        ServerError,
+        parse_address,
+    )
+
+    try:
+        address = parse_address(args.address)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    if args.interval <= 0:
+        raise CliError("--interval must be > 0")
+    refreshes = 0
+    try:
+        with OracleClient(address, timeout=args.timeout) as client:
+            while True:
+                stats = client.stats()
+                health = client.health()
+                if not args.no_clear and sys.stdout.isatty():
+                    # Clear screen + home, the classic top(1) refresh.
+                    print("\x1b[2J\x1b[H", end="")
+                print(_render_top(args.address, stats, health),
+                      flush=True)
+                refreshes += 1
+                if args.iterations and refreshes >= args.iterations:
+                    return 0
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionFailed as exc:
+        raise CliError(str(exc)) from exc
+    except (ServerError, KeyError) as exc:
+        raise CliError(str(exc)) from exc
+    except ConnectionError as exc:
+        raise CliError(f"connection lost: {exc}") from exc
+
+
+def _render_top(address: str, stats: dict, health: dict) -> str:
+    """Render one dashboard frame from stats + health payloads."""
+    lines = []
+    slo = health.get("slo")
+    state = slo["state"] if slo else "n/a"
+    lines.append(
+        f"pao top {address} -- status={health['status']} "
+        f"slo={state} uptime={health['uptime_seconds']}s"
+    )
+    if slo and slo.get("breached"):
+        lines.append("  breached: " + ", ".join(slo["breached"]))
+    red = stats.get("red") or {}
+    if red:
+        rows = [
+            [
+                op,
+                snap["count"],
+                snap["errors"],
+                f"{snap['qps']:.1f}",
+                _top_ms(snap.get("p50_ms")),
+                _top_ms(snap.get("p95_ms")),
+                _top_ms(snap.get("p99_ms")),
+            ]
+            for op, snap in sorted(red.items())
+        ]
+        lines.append(format_table(
+            ["op", "count", "errors", "qps", "p50 ms", "p95 ms",
+             "p99 ms"],
+            rows, title="Per-op RED (sliding window)"))
+    else:
+        lines.append(
+            "  (no RED telemetry; start the daemon with --telemetry)"
+        )
+    sessions = stats.get("sessions") or {}
+    if sessions:
+        rows = [
+            [
+                name,
+                row["generation"],
+                row["served_pins"],
+                row["moves"],
+                row.get("cache_entries", "-"),
+            ]
+            for name, row in sorted(sessions.items())
+        ]
+        lines.append(format_table(
+            ["session", "gen", "answers", "moves", "cache"],
+            rows, title="Sessions"))
+    return "\n".join(lines)
+
+
+def _top_ms(value) -> str:
+    return f"{value:.3f}" if value is not None else "-"
 
 
 def _cmd_suite(args) -> int:

@@ -1,0 +1,200 @@
+"""Structured access log for the serving daemon.
+
+One line of JSONL per logged request under schema
+``repro.serve.access/v1``: the operation, session design, trace id,
+bytes in/out, the latency split (queue / handle / total,
+milliseconds) and the outcome (``ok`` or the wire error code).  The
+stream reuses the project-wide JSONL convention owned by
+:mod:`repro.obs.events` -- a schema-stamped header line followed by
+one record per line -- so ``read_access_log`` validates the same
+way ``read_jsonl`` does.
+
+Volume control is *head sampling*: with ``sample_every=N`` only
+every Nth ok-and-fast request is written.  Two classes of request
+bypass sampling entirely, because they are exactly the ones an
+operator greps for:
+
+* **errors** -- any non-``ok`` outcome is always logged;
+* **slow requests** -- any request whose total latency is at or
+  over ``slow_ms`` is always logged, and when a ``spool_dir`` is
+  configured its full stitched trace (client + server spans, Chrome
+  trace JSON) is dumped there with the spool path recorded in the
+  log line.
+
+Each record carries ``why`` (``sample`` / ``error`` / ``slow``) so
+readers can tell a sampled stream from a filtered one.  Appends are
+lock-guarded and flushed line-at-a-time; the log is safe to tail.
+
+This module imports only :mod:`repro.obs.events`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro.obs.events import check_jsonl_header, jsonl_header
+
+ACCESS_SCHEMA = "repro.serve.access/v1"
+
+#: Fields every access-log record must carry.
+RECORD_FIELDS = (
+    "op",
+    "outcome",
+    "why",
+    "bytes_in",
+    "bytes_out",
+    "queue_ms",
+    "handle_ms",
+    "total_ms",
+)
+
+
+class AccessLog:
+    """Append-only ``repro.serve.access/v1`` JSONL writer.
+
+    ``sample_every=1`` logs everything; ``sample_every=100`` logs
+    every 100th fast-ok request (plus all errors and slow
+    requests).  ``slow_ms`` is the always-log latency threshold;
+    ``spool_dir`` enables slow-request trace spooling.
+    """
+
+    __slots__ = (
+        "path",
+        "sample_every",
+        "slow_ms",
+        "spool_dir",
+        "written",
+        "sampled_out",
+        "spooled",
+        "_handle",
+        "_lock",
+        "_seen",
+        "_spool_seq",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        sample_every: int = 1,
+        slow_ms: float = 100.0,
+        spool_dir: str = None,
+    ):
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.path = str(path)
+        self.sample_every = sample_every
+        self.slow_ms = slow_ms
+        self.spool_dir = str(spool_dir) if spool_dir is not None else None
+        self.written = 0
+        self.sampled_out = 0
+        self.spooled = 0
+        self._lock = threading.Lock()
+        self._seen = 0
+        self._spool_seq = 0
+        fresh = not os.path.exists(self.path) or (
+            os.path.getsize(self.path) == 0
+        )
+        self._handle = open(self.path, "a")
+        if fresh:
+            header = jsonl_header(
+                ACCESS_SCHEMA,
+                sample_every=sample_every,
+                slow_ms=slow_ms,
+            )
+            self._handle.write(json.dumps(header) + "\n")
+            self._handle.flush()
+        if self.spool_dir is not None:
+            os.makedirs(self.spool_dir, exist_ok=True)
+
+    def record(self, entry: dict, trace_doc=None) -> bool:
+        """Log one request; returns True if a line was written.
+
+        ``entry`` must carry :data:`RECORD_FIELDS` (extra fields --
+        ``trace``, ``design``, ``id`` -- pass through verbatim).
+        ``trace_doc`` is a zero-argument callable returning the
+        request's Chrome-trace document; it is invoked only when the
+        request is slow and spooling is configured, so building the
+        document costs nothing on the fast path.
+        """
+        slow = entry.get("total_ms", 0.0) >= self.slow_ms
+        error = entry.get("outcome") != "ok"
+        with self._lock:
+            self._seen += 1
+            if error:
+                why = "error"
+            elif slow:
+                why = "slow"
+            elif (self._seen - 1) % self.sample_every == 0:
+                why = "sample"
+            else:
+                self.sampled_out += 1
+                return False
+            record = dict(entry)
+            record["why"] = why
+            if slow and self.spool_dir is not None and trace_doc is not None:
+                record["spool"] = self._spool(record, trace_doc)
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+            self.written += 1
+        return True
+
+    def _spool(self, record: dict, trace_doc) -> str:
+        """Dump a slow request's stitched trace; returns the path."""
+        self._spool_seq += 1
+        stem = record.get("trace") or f"req-{self._spool_seq:06d}"
+        path = os.path.join(
+            self.spool_dir, f"slow-{self._spool_seq:06d}-{stem}.json"
+        )
+        doc = trace_doc()
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+            handle.write("\n")
+        self.spooled += 1
+        return path
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+def read_access_log(path: str) -> list:
+    """Read and validate a ``repro.serve.access/v1`` stream.
+
+    Raises ``ValueError`` on a missing/illegal header or on any
+    record missing a required field; returns the record dicts.
+    """
+    with open(path) as handle:
+        lines = [line for line in handle.read().splitlines() if line]
+    if not lines:
+        raise ValueError(f"{path}: empty access log")
+    check_jsonl_header(lines[0], ACCESS_SCHEMA, path)
+    records = []
+    for index, line in enumerate(lines[1:]):
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}: record {index} is not JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}: record {index} is not an object")
+        missing = [f for f in RECORD_FIELDS if f not in record]
+        if missing:
+            raise ValueError(
+                f"{path}: record {index} missing fields {missing}"
+            )
+        records.append(record)
+    return records

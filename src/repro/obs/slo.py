@@ -1,0 +1,290 @@
+"""Windowed RED telemetry and declarative SLO evaluation.
+
+The serving layer needs to answer two operational questions
+continuously: *how is each operation doing right now* (RED --
+request rate, error rate, duration quantiles) and *is that good
+enough* (SLOs -- service level objectives such as ``query p99 <
+1 ms``).  This module provides both, with no dependency on the wire
+layer so the same machinery can watch any request-shaped workload.
+
+:class:`RedWindow` tracks one operation: lifetime request/error
+totals, per-second rate buckets over a sliding wall-clock window
+(default 60 s), and duration quantiles over a sliding sample window
+(:class:`~repro.obs.metrics.SlidingQuantiles`).  Because both
+windows slide, a burst of slow or failing requests ages out --
+which is what lets an SLO *recover*.
+
+:class:`SloTable` holds :class:`Objective` rows -- each names an
+op (or ``*`` for all ops), a signal (``p50_ms`` / ``p95_ms`` /
+``p99_ms`` / ``error_rate``) and a threshold -- and evaluates them
+against a ``{op: RedWindow.snapshot()}`` map into a
+``repro.obs.slo/v1`` report: per-objective state plus the overall
+worst state, with every breaching objective named.  States:
+
+* ``ok``       -- below ``degraded_ratio * threshold`` (or no traffic);
+* ``degraded`` -- within ``degraded_ratio`` of the threshold, the
+  early-warning band;
+* ``breached`` -- at or over the threshold.
+
+Clocks are injectable (``clock=`` / ``now=``) so tests can walk
+time deterministically.  This module imports only
+:mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs.metrics import SlidingQuantiles
+
+SLO_SCHEMA = "repro.obs.slo/v1"
+
+STATE_OK = "ok"
+STATE_DEGRADED = "degraded"
+STATE_BREACHED = "breached"
+
+_STATE_RANK = {STATE_OK: 0, STATE_DEGRADED: 1, STATE_BREACHED: 2}
+
+#: Signals an :class:`Objective` may watch.
+SIGNALS = ("p50_ms", "p95_ms", "p99_ms", "error_rate")
+
+
+class RedWindow:
+    """Rate / errors / duration for one operation, windowed.
+
+    ``observe`` is the per-request hot path: one bucket update and
+    one ring-buffer write.  ``snapshot`` (scrape/health path only)
+    computes windowed rate, windowed error rate and duration
+    quantiles in milliseconds.
+    """
+
+    __slots__ = (
+        "count",
+        "errors",
+        "window_seconds",
+        "_durations",
+        "_buckets",
+        "_clock",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        window_samples: int = 1024,
+        window_seconds: int = 60,
+        clock=time.monotonic,
+    ):
+        if window_seconds < 1:
+            raise ValueError(
+                f"window_seconds must be >= 1, got {window_seconds}"
+            )
+        self.count = 0
+        self.errors = 0
+        self.window_seconds = window_seconds
+        self._durations = SlidingQuantiles(window=window_samples)
+        # Per-second ring: [second, requests, errors] rows, stamped so
+        # stale rows (lapped by a quiet period) are recognized.
+        self._buckets = [[-1, 0, 0] for _ in range(window_seconds)]
+        self._clock = clock
+        self._t0 = None
+
+    def observe(
+        self, seconds: float, error: bool = False, now: float = None
+    ) -> None:
+        """Record one request outcome (duration in seconds)."""
+        now = self._clock() if now is None else now
+        if self._t0 is None:
+            self._t0 = now
+        self.count += 1
+        sec = int(now)
+        bucket = self._buckets[sec % self.window_seconds]
+        if bucket[0] != sec:
+            bucket[0] = sec
+            bucket[1] = 0
+            bucket[2] = 0
+        bucket[1] += 1
+        if error:
+            self.errors += 1
+            bucket[2] += 1
+        self._durations.observe(seconds * 1e3)
+
+    def snapshot(self, now: float = None) -> dict:
+        """Summarize the window: totals, rates, latency quantiles."""
+        now = self._clock() if now is None else now
+        requests = 0
+        errors = 0
+        floor = int(now) - self.window_seconds
+        for sec, req, err in self._buckets:
+            if sec > floor:
+                requests += req
+                errors += err
+        # A window younger than window_seconds would under-divide; a
+        # denominator under one second would over-multiply a burst.
+        elapsed = self.window_seconds
+        if self._t0 is not None:
+            elapsed = min(elapsed, max(1.0, now - self._t0))
+        out = {
+            "count": self.count,
+            "errors": self.errors,
+            "window_requests": requests,
+            "window_errors": errors,
+            "qps": round(requests / elapsed, 3),
+            "error_rate": round(errors / requests, 6) if requests else 0.0,
+        }
+        quantiles = self._durations.quantiles()
+        for key, value in quantiles.items():
+            out[f"{key}_ms"] = round(value, 4) if value is not None else None
+        return out
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service level objective: ``<signal> of <op> < threshold``.
+
+    ``op`` is a wire operation name or ``"*"`` to aggregate across
+    all ops (error rates sum their windows; quantile signals take
+    the worst op).  ``threshold`` is in the signal's unit
+    (milliseconds for ``p*_ms``, a 0..1 fraction for
+    ``error_rate``).  At or above ``degraded_ratio * threshold``
+    the objective is ``degraded`` -- the early-warning band.
+    """
+
+    name: str
+    op: str
+    signal: str
+    threshold: float
+    degraded_ratio: float = 0.8
+
+    def __post_init__(self):
+        if self.signal not in SIGNALS:
+            raise ValueError(
+                f"objective {self.name!r}: unknown signal "
+                f"{self.signal!r} (one of {SIGNALS})"
+            )
+        if self.threshold <= 0:
+            raise ValueError(
+                f"objective {self.name!r}: threshold must be > 0"
+            )
+        if not 0.0 < self.degraded_ratio <= 1.0:
+            raise ValueError(
+                f"objective {self.name!r}: degraded_ratio must be in "
+                "(0, 1]"
+            )
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "op": self.op,
+            "signal": self.signal,
+            "threshold": self.threshold,
+            "degraded_ratio": self.degraded_ratio,
+        }
+
+
+#: The serving daemon's default objectives (ISSUE/ROADMAP targets):
+#: interactive queries answer in a millisecond, incremental moves in
+#: tens of milliseconds, and errors stay below 0.1% of traffic.
+DEFAULT_OBJECTIVES = (
+    Objective("query_p99_ms", "query", "p99_ms", 1.0),
+    Objective("query_batch_p99_ms", "query_batch", "p99_ms", 50.0),
+    Objective("move_p99_ms", "move_instance", "p99_ms", 20.0),
+    Objective("error_rate", "*", "error_rate", 0.001),
+)
+
+
+def objectives_from_json(rows: list) -> tuple:
+    """Build objectives from a JSON list (the ``--slo FILE`` format).
+
+    Each row is ``{"name", "op", "signal", "threshold"[,
+    "degraded_ratio"]}``; validation errors raise ``ValueError``
+    with the offending row named.
+    """
+    objectives = []
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise ValueError(f"objective {index}: not an object")
+        try:
+            objectives.append(
+                Objective(
+                    name=str(row["name"]),
+                    op=str(row["op"]),
+                    signal=str(row["signal"]),
+                    threshold=float(row["threshold"]),
+                    degraded_ratio=float(row.get("degraded_ratio", 0.8)),
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"objective {index}: missing field {exc.args[0]!r}"
+            ) from exc
+    return tuple(objectives)
+
+
+def _objective_value(objective: Objective, red_by_op: dict):
+    """Extract the objective's current signal value, or None."""
+    if objective.op != "*":
+        snap = red_by_op.get(objective.op)
+        if snap is None:
+            return None
+        return snap.get(objective.signal)
+    if objective.signal == "error_rate":
+        requests = sum(s.get("window_requests", 0) for s in red_by_op.values())
+        errors = sum(s.get("window_errors", 0) for s in red_by_op.values())
+        return round(errors / requests, 6) if requests else None
+    values = [
+        s.get(objective.signal)
+        for s in red_by_op.values()
+        if s.get(objective.signal) is not None
+    ]
+    return max(values) if values else None
+
+
+def _objective_state(objective: Objective, value) -> str:
+    if value is None:
+        return STATE_OK
+    if value >= objective.threshold:
+        return STATE_BREACHED
+    if value >= objective.degraded_ratio * objective.threshold:
+        return STATE_DEGRADED
+    return STATE_OK
+
+
+class SloTable:
+    """A declarative set of objectives evaluated against RED data."""
+
+    __slots__ = ("objectives",)
+
+    def __init__(self, objectives=DEFAULT_OBJECTIVES):
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self.objectives = tuple(objectives)
+
+    def evaluate(self, red_by_op: dict) -> dict:
+        """Evaluate every objective against ``{op: red snapshot}``.
+
+        Returns the ``repro.obs.slo/v1`` report: overall ``state``
+        (the worst objective), the ``breached`` objective names, and
+        one row per objective with its current value.
+        """
+        rows = []
+        worst = STATE_OK
+        breached = []
+        for objective in self.objectives:
+            value = _objective_value(objective, red_by_op)
+            state = _objective_state(objective, value)
+            if _STATE_RANK[state] > _STATE_RANK[worst]:
+                worst = state
+            if state == STATE_BREACHED:
+                breached.append(objective.name)
+            row = objective.to_wire()
+            row["value"] = value
+            row["state"] = state
+            rows.append(row)
+        return {
+            "schema": SLO_SCHEMA,
+            "state": worst,
+            "breached": breached,
+            "objectives": rows,
+        }

@@ -78,7 +78,9 @@ class Tracer:
         """Plain-list copy of the buffer, safe to pickle."""
         return [dict(record) for record in self.spans]
 
-    def adopt(self, records: list, parent=None) -> int:
+    def adopt(
+        self, records: list, parent=None, shift: float = 0.0, track=None
+    ) -> int:
         """Stitch a worker's :meth:`snapshot` into this tracer's tree.
 
         Span ids are re-based to stay unique, the worker's root spans
@@ -86,12 +88,21 @@ class Tracer:
         id in *this* tracer, typically the step span that spawned the
         task), and the whole buffer is tagged with a fresh Chrome
         track id.  Returns the number of spans adopted.
+
+        ``shift`` is added to every adopted ``t0``: callers that *can*
+        align the foreign clock -- the serve client knows its request
+        span brackets the server's handling, so it can center the
+        server spans inside its own wait interval -- pass the
+        offset here.  ``track`` overrides the fresh Chrome track id;
+        the serve client passes its own track so one request's client
+        and server spans render as a single stitched timeline.
         """
         if not records:
             return 0
         offset = self._next_id
-        self._tracks += 1
-        track = self._tracks
+        if track is None:
+            self._tracks += 1
+            track = self._tracks
         top = 0
         adopted = 0
         for record in records:
@@ -101,6 +112,7 @@ class Tracer:
             record = dict(record)
             top = max(top, record["id"])
             record["id"] += offset
+            record["t0"] += shift
             if record["parent"] is None:
                 record["parent"] = parent
             else:

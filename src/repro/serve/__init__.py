@@ -14,12 +14,19 @@ instead of each paying full import + analysis cost:
   analysis behind immutable published snapshots (lock-free reads,
   serialized edits, atomic generation swaps).
 * :mod:`repro.serve.server` -- the threaded TCP/Unix-socket daemon:
-  backpressure, timeouts, graceful drain, Prometheus metrics.
+  backpressure, timeouts, graceful drain, Prometheus metrics, and
+  the optional :class:`~repro.serve.server.ServeTelemetry` bundle
+  (per-op RED windows, SLO evaluation, access log, wire tracing).
+* :mod:`repro.serve.httpexport` -- the stdlib HTTP sidecar exposing
+  ``/metrics``, ``/healthz`` and ``/slo.json`` to plain scrapers.
 * :mod:`repro.serve.client` -- the blocking client library behind the
-  ``repro serve`` / ``repro query`` CLI subcommands.
+  ``repro serve`` / ``repro query`` / ``repro top`` CLI subcommands;
+  with ``trace=True`` each request stitches client and server spans
+  into one Chrome-tracing track.
 """
 
 from repro.serve.client import ConnectionFailed, OracleClient, ServerError
+from repro.serve.httpexport import HttpExport
 from repro.serve.protocol import (
     PROTOCOL,
     BadRequest,
@@ -27,7 +34,11 @@ from repro.serve.protocol import (
     ProtocolError,
     parse_address,
 )
-from repro.serve.server import OracleServer
+from repro.serve.server import (
+    OracleServer,
+    ServeTelemetry,
+    render_server_metrics,
+)
 from repro.serve.session import DesignSession, Snapshot
 
 __all__ = [
@@ -36,10 +47,13 @@ __all__ = [
     "ConnectionFailed",
     "DesignSession",
     "FrameError",
+    "HttpExport",
     "OracleClient",
     "OracleServer",
     "ProtocolError",
+    "ServeTelemetry",
     "ServerError",
     "Snapshot",
     "parse_address",
+    "render_server_metrics",
 ]

@@ -20,6 +20,18 @@ Usage::
         answers = client.query_batch([("u42", "A"), ("u43", "Z")])
         client.move_instance("u42", x=15200, y=1400)
 
+With ``trace=True`` the client opens a span tree per request
+(``client.request`` > serialize / wait / parse), stamps the trace
+context into the frame, and -- when the daemon runs telemetry --
+adopts the echoed server spans into its own tracer so the whole
+request renders as one stitched Chrome-tracing track.  The two
+machines' monotonic clocks share no epoch, so the server spans are
+shifted to sit centered inside the client's ``wait`` span: the wait
+interval provably brackets the server's handling, and the residue
+(network + scheduling) splits evenly around it.  After every traced
+call :attr:`OracleClient.last_timing` holds the per-phase breakdown
+(the ``repro query --timing`` surface).
+
 The module keeps its imports light (no analysis machinery) so an
 embedding placer pays nothing beyond the socket.
 """
@@ -28,9 +40,11 @@ from __future__ import annotations
 
 import socket
 import time
+import uuid
 from typing import Optional
 
 from repro.core.oracle import UnknownInstanceError, UnknownPinError
+from repro.obs import trace as obs_trace
 from repro.serve import protocol
 from repro.serve.protocol import (
     E_UNKNOWN_INSTANCE,
@@ -74,6 +88,13 @@ _TYPED_ERRORS = {
 }
 
 
+def _span_ms(record):
+    """A closed span record's duration in milliseconds, or None."""
+    if record is None:
+        return None
+    return round(record["dur"] * 1e3, 3)
+
+
 class OracleClient:
     """A blocking connection to one pin access daemon."""
 
@@ -84,6 +105,8 @@ class OracleClient:
         connect_retries: int = 20,
         backoff: float = 0.05,
         max_backoff: float = 1.0,
+        trace: bool = False,
+        tracer=None,
     ):
         if isinstance(address, str):
             address = parse_address(address)
@@ -92,6 +115,12 @@ class OracleClient:
         self.connect_retries = connect_retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            self.tracer = obs_trace.Tracer() if trace else None
+        self.dial_ms = None
+        self.last_timing = None
         self._sock = None
         self._rfile = None
         self._wfile = None
@@ -103,23 +132,36 @@ class OracleClient:
         """Dial the daemon, retrying with exponential backoff."""
         if self._sock is not None:
             return self
+        t_start = time.perf_counter()
+        record = None
+        if self.tracer is not None:
+            record = self.tracer.begin(
+                "client.dial", {"address": str(self.address)}, None
+            )
         delay = self.backoff
         last_error = None
-        for _ in range(max(1, self.connect_retries)):
-            try:
-                self._sock = self._dial()
-                self._sock.settimeout(self.timeout)
-                self._rfile = self._sock.makefile("rb")
-                self._wfile = self._sock.makefile("wb")
-                return self
-            except OSError as exc:
-                last_error = exc
-                self._sock = None
-                time.sleep(delay)
-                delay = min(delay * 2, self.max_backoff)
-        raise ConnectionFailed(
-            f"cannot connect to {self.address!r}: {last_error}"
-        )
+        try:
+            for _ in range(max(1, self.connect_retries)):
+                try:
+                    self._sock = self._dial()
+                    self._sock.settimeout(self.timeout)
+                    self._rfile = self._sock.makefile("rb")
+                    self._wfile = self._sock.makefile("wb")
+                    self.dial_ms = round(
+                        (time.perf_counter() - t_start) * 1e3, 3
+                    )
+                    return self
+                except OSError as exc:
+                    last_error = exc
+                    self._sock = None
+                    time.sleep(delay)
+                    delay = min(delay * 2, self.max_backoff)
+            raise ConnectionFailed(
+                f"cannot connect to {self.address!r}: {last_error}"
+            )
+        finally:
+            if record is not None:
+                self.tracer.end(record)
 
     def _dial(self) -> socket.socket:
         if self.address[0] == "unix":
@@ -161,8 +203,14 @@ class OracleClient:
             self.connect()
         self._next_id += 1
         request.req_id = self._next_id
+        if self.tracer is not None:
+            return self._call_traced(request)
         protocol.write_frame(self._wfile, request.to_wire())
         response = protocol.read_frame(self._rfile)
+        return self._handle_envelope(response)
+
+    def _handle_envelope(self, response) -> dict:
+        """Unwrap a response envelope or raise its mapped error."""
         if response is None:
             self.close()
             raise ConnectionError("server closed the connection mid-request")
@@ -175,6 +223,73 @@ class OracleClient:
         if typed is not None:
             raise typed(message)
         raise ServerError(code, message)
+
+    def _call_traced(self, request) -> dict:
+        """The traced transport: spans, trace stamp, span adoption."""
+        trace_id = uuid.uuid4().hex[:16]
+        token = obs_trace.swap(self.tracer)
+        root = serialize = wait = parse = None
+        response = None
+        try:
+            with obs_trace.span(
+                "client.request", op=request.op, trace=trace_id
+            ) as root:
+                with obs_trace.span("client.serialize") as serialize:
+                    frame = protocol.stamp_trace(
+                        request.to_wire(), trace_id
+                    )
+                    blob = protocol.encode_frame(frame)
+                with obs_trace.span("client.wait") as wait:
+                    self._wfile.write(blob)
+                    self._wfile.flush()
+                    response = protocol.read_frame(self._rfile)
+                with obs_trace.span("client.parse") as parse:
+                    return self._handle_envelope(response)
+        finally:
+            obs_trace.restore(token)
+            server_ms = None
+            if response is not None and root is not None and wait is not None:
+                server_ms = self._adopt_server_spans(response, root, wait)
+            self.last_timing = {
+                "op": request.op,
+                "trace": trace_id,
+                "dial_ms": self.dial_ms,
+                "total_ms": _span_ms(root),
+                "serialize_ms": _span_ms(serialize),
+                "wait_ms": _span_ms(wait),
+                "parse_ms": _span_ms(parse),
+                "server_ms": server_ms,
+            }
+
+    def _adopt_server_spans(self, response, root, wait):
+        """Stitch the daemon's echoed spans under the request span.
+
+        The server's monotonic clock shares no epoch with ours, but
+        the ``wait`` span provably brackets the server's handling,
+        so the server tree is shifted to sit centered inside it and
+        laid on the client's own Chrome track (track 0).  Returns
+        the server root duration in milliseconds, or None.
+        """
+        context = response.get(protocol.TRACE_FIELD)
+        if not isinstance(context, dict):
+            return None
+        records = context.get("spans")
+        if not records:
+            return None
+        server_root = next(
+            (r for r in records if r.get("parent") is None), None
+        )
+        shift = 0.0
+        server_ms = None
+        if server_root is not None:
+            shift = (
+                wait["t0"]
+                + (wait["dur"] - server_root["dur"]) / 2.0
+                - server_root["t0"]
+            )
+            server_ms = round(server_root["dur"] * 1e3, 3)
+        self.tracer.adopt(records, parent=root["id"], shift=shift, track=0)
+        return server_ms
 
     # -- operations ----------------------------------------------------------
 

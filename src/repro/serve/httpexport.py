@@ -1,0 +1,113 @@
+"""HTTP export sidecar: Prometheus scrapes without the binary protocol.
+
+A stdlib :mod:`http.server` thread bolted onto a running
+:class:`~repro.serve.server.OracleServer` so ordinary scrapers and
+load balancers can pull operational state over plain HTTP:
+
+* ``GET /metrics`` -- the full Prometheus exposition
+  (:func:`~repro.serve.server.render_server_metrics`: registry
+  families, per-session gauges, per-op RED series, SLO gauges);
+* ``GET /healthz`` -- the ``health`` op's JSON (status, sessions,
+  SLO block); answers 503 while the daemon drains so orchestrators
+  stop routing to it;
+* ``GET /slo.json`` -- the ``repro.obs.slo/v1`` report alone (404
+  when the daemon runs without telemetry).
+
+The sidecar is read-only and unauthenticated -- bind it to loopback
+or a private interface.  It runs one
+:class:`~http.server.ThreadingHTTPServer` daemon thread and shares
+no locks with the request path beyond the metrics/sessions locks the
+wire ops already take.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.server import OracleServer, render_server_metrics
+
+#: Content type of the Prometheus text exposition.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class HttpExport:
+    """The sidecar: binds, serves in a daemon thread, stops cleanly."""
+
+    def __init__(
+        self, server: OracleServer, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.server = server
+        handler = _make_handler(server)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = None
+
+    def start(self) -> "HttpExport":
+        """Start serving in a background daemon thread."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="pao-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "HttpExport":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+def _make_handler(server: OracleServer):
+    """Build the request-handler class bound to ``server``."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def do_GET(self):  # noqa: N802 -- http.server's naming
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                body = render_server_metrics(server).encode("utf-8")
+                self._reply(200, PROM_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                health = server._op_health(None)
+                status = 503 if health["status"] == "draining" else 200
+                self._reply_json(status, health)
+            elif path == "/slo.json":
+                if server.telemetry is None:
+                    self._reply_json(
+                        404, {"error": "telemetry is not enabled"}
+                    )
+                else:
+                    self._reply_json(200, server.telemetry.slo_report())
+            else:
+                self._reply_json(404, {"error": f"no route {path!r}"})
+
+        def _reply(self, status: int, content_type: str, body: bytes):
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _reply_json(self, status: int, obj: dict):
+            body = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+            self._reply(status, "application/json", body)
+
+        def log_message(self, format, *args):  # noqa: A002
+            pass  # scrape traffic does not belong on stderr
+
+    return Handler

@@ -138,16 +138,18 @@ def write_frame(wfile, obj: dict) -> None:
     wfile.flush()
 
 
-def read_frame(rfile) -> Optional[dict]:
-    """Read one frame from a binary file-like object.
+def read_frame_ex(rfile) -> tuple:
+    """Read one frame, returning ``(obj, wire_bytes)``.
 
-    Returns None on a clean EOF at a frame boundary (the peer closed
-    between requests); raises :class:`FrameError` on a truncated,
-    oversized or non-JSON-object payload.
+    ``obj`` is None on a clean EOF at a frame boundary (the peer
+    closed between requests); ``wire_bytes`` counts header plus
+    payload as read off the stream (the access log's ``bytes_in``).
+    Raises :class:`FrameError` on a truncated, oversized or
+    non-JSON-object payload.
     """
     header = rfile.read(_HEADER.size)
     if not header:
-        return None
+        return None, 0
     if len(header) < _HEADER.size:
         raise FrameError("truncated frame header")
     (length,) = _HEADER.unpack(header)
@@ -173,7 +175,43 @@ def read_frame(rfile) -> Optional[dict]:
         raise FrameError(f"payload is not JSON: {exc}") from exc
     if not isinstance(obj, dict):
         raise FrameError("payload is not a JSON object")
+    return obj, _HEADER.size + length
+
+
+def read_frame(rfile) -> Optional[dict]:
+    """Read one frame (see :func:`read_frame_ex`); byte count dropped."""
+    obj, _ = read_frame_ex(rfile)
     return obj
+
+
+# -- trace context ------------------------------------------------------------
+#
+# Trace propagation is additive within v1: a tracing client stamps a
+# compact ``trace`` object into the request frame and a telemetry
+# server echoes its server-side span buffer back under the same key
+# in the response.  :func:`parse_request` reads only the fields it
+# knows, so a v1 server without telemetry ignores the request stamp,
+# and a v1 client without tracing ignores the response spans -- old
+# and new peers interoperate in both directions.
+
+#: Frame key carrying the trace context (requests) / spans (responses).
+TRACE_FIELD = "trace"
+
+
+def stamp_trace(frame: dict, trace_id: str) -> dict:
+    """Stamp a client trace context into a request frame."""
+    frame[TRACE_FIELD] = {"id": trace_id}
+    return frame
+
+
+def frame_trace_id(frame: dict) -> Optional[str]:
+    """Extract the trace id from a frame, or None if absent/invalid."""
+    context = frame.get(TRACE_FIELD)
+    if isinstance(context, dict):
+        trace_id = context.get("id")
+        if isinstance(trace_id, str) and trace_id:
+            return trace_id
+    return None
 
 
 # -- typed requests -----------------------------------------------------------

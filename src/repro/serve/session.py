@@ -120,12 +120,14 @@ class DesignSession:
     def stats(self) -> dict:
         """Return the session's serving statistics."""
         snap = self._snapshot
+        cache = self.inc.framework.cache
         return {
             "design": self.design.name,
             "generation": snap.generation,
             "instances": len(snap.pins_by_inst),
             "served_pins": len(snap.access),
             "moves": self.moves,
+            "cache_entries": cache.entry_count() if cache is not None else 0,
             "analyze_seconds": round(self.analyze_seconds, 6),
             "last_update_seconds": round(self.inc.last_update_seconds, 6),
         }
