@@ -35,7 +35,11 @@ from repro.report import format_table
 
 from repro.qa.metrics import bench_entry
 
-from benchmarks.conftest import append_bench_entry, publish
+from benchmarks.conftest import (
+    append_bench_entry,
+    publish,
+    publish_envelope,
+)
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_analyze.json"
@@ -163,7 +167,9 @@ def test_analyze_cold_array_vs_engine(once):
     )
     publish("analyze_cold_smoke" if SMOKE else "analyze_cold", text)
 
-    if not SMOKE:
+    if SMOKE:
+        publish_envelope(BENCH_JSON.stem, entry)
+    else:
         append_bench_entry(BENCH_JSON, entry)
         # The compiled tables must buy real wall time back; the bar is
         # conservative against host-load noise on shared runners.

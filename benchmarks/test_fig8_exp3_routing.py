@@ -1,59 +1,76 @@
 """Figure 8 / Experiment 3: final routed pin-access DRCs.
 
-Routes the ispd18_test5-like testcase twice with the same router, once
-with Dr. CU 2.0-style pin access (on-track point, no rule-aware via
-model) and once with PAAF's selected access map, then scores the
-routed layout's pin-access DRCs with the DRC engine.
+Drives the ``repro.compare`` harness: the same testcase is routed once
+per access flow -- the legacy Dr. CU 2.0-style baseline (on-track
+point, no rule-aware via model), the in-process PAO, and (full runs)
+the serve-backed PAO whose access map is pulled from a live daemon
+and asserted bit-identical -- and each routed layout is scored with
+the DRC engine.
 
 Expected shape (paper: 755 DRCs for Dr. CU 2.0 vs 2 for PAAF on
 ispd18_test5): an orders-of-magnitude gap in favor of PAAF.
+
+Results go into ``BENCH_compare.json`` at the repo root (shared
+``repro.qa.bench/v1`` envelope).  Set ``REPRO_BENCH_SMOKE=1`` (CI) to
+shrink the design, skip the serve flow and publish the envelope
+without appending to the history.
 """
 
-from collections import Counter
+import os
+import pathlib
 
-from repro.core import PinAccessFramework
+from repro.compare import CaseSpec
+from repro.compare.flows import execute_flow
+from repro.compare.report import case_report, flow_envelope
 from repro.report import format_table
-from repro.route import DetailedRouter, count_route_drcs
-from repro.route.drcu import drcu_access_map
 
-from benchmarks.conftest import bench_design, publish
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    append_bench_entry,
+    publish,
+    publish_envelope,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CASE = (
+    CaseSpec("ispd18_test1", 0.004)
+    if SMOKE
+    else CaseSpec("ispd18_test5", BENCH_SCALE)
+)
+RUN_FLOWS = ("legacy", "pao") if SMOKE else ("legacy", "pao", "serve")
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_compare.json"
 
 
-def route_and_score(design, access_map):
-    result = DetailedRouter(design).route(access_map)
-    drcs = count_route_drcs(design, result, scope="pin-access")
-    return result, drcs
-
-
-def test_fig8_routing_comparison(once):
-    design = bench_design("ispd18_test5")
-
-    drcu_result, drcu_drcs = route_and_score(
-        design, drcu_access_map(design)
-    )
-    paaf_access = PinAccessFramework(design).run().access_map()
-    pao_result, pao_drcs = once(route_and_score, design, paaf_access)
+def test_fig8_routing_comparison(once, tmp_path):
+    records = {}
+    for flow in RUN_FLOWS:
+        runner = once if flow == "pao" else (lambda fn, *a: fn(*a))
+        records[flow] = runner(
+            lambda f: execute_flow(CASE, f, work_dir=str(tmp_path)), flow
+        )
+    report = case_report(CASE, records, wanted_flows=list(RUN_FLOWS))
 
     rows = []
-    for label, result, drcs in (
-        ("Dr. CU 2.0-style", drcu_result, drcu_drcs),
-        ("PAAF (this work)", pao_result, pao_drcs),
-    ):
-        rules = Counter(v.rule for v in drcs)
+    for flow in RUN_FLOWS:
+        record = records[flow]
+        routing = record["routing"]
+        drc = record["drc"]
         rows.append(
             [
-                label,
-                result.routed_nets,
-                len(result.failed_nets),
-                result.unconnected_terms,
-                len(drcs),
-                ", ".join(f"{r}:{c}" for r, c in sorted(rules.items()))
+                flow,
+                routing["routed_nets"],
+                routing["failed_nets"],
+                routing["unconnected_terms"],
+                drc["pin_access_total"],
+                ", ".join(
+                    f"{r}:{c}" for r, c in sorted(drc["pin_access"].items())
+                )
                 or "-",
             ]
         )
     text = format_table(
         [
-            "Access strategy",
+            "Access flow",
             "#Routed nets",
             "#Failed nets",
             "#Unconn terms",
@@ -62,11 +79,19 @@ def test_fig8_routing_comparison(once):
         ],
         rows,
         title=(
-            "Figure 8 / Experiment 3: routed pin access, Dr. CU 2.0-style "
-            "vs PAAF (paper: 755 vs 2 DRCs on ispd18_test5)"
+            f"Figure 8 / Experiment 3 ({CASE.case_id}): routed pin access "
+            "by flow (paper: 755 vs 2 DRCs on ispd18_test5)"
         ),
     )
-    publish("fig8_exp3", text)
+    publish("fig8_exp3_smoke" if SMOKE else "fig8_exp3", text)
 
-    assert len(drcu_drcs) >= 10 * max(1, len(pao_drcs))
-    assert len(pao_drcs) <= 10
+    entry = flow_envelope(CASE, records)
+    if SMOKE:
+        publish_envelope(BENCH_JSON.stem, entry)
+    else:
+        append_bench_entry(BENCH_JSON, entry)
+
+    ordering = report["ordering"]
+    assert ordering["figure8_ok"], ordering
+    if "serve" in records:
+        assert records["serve"]["serve"]["wire_identical"]

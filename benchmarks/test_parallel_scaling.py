@@ -39,7 +39,12 @@ from repro.report import format_table
 
 from repro.qa.metrics import bench_entry
 
-from benchmarks.conftest import BENCH_SCALE, append_bench_entry, publish
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    append_bench_entry,
+    publish,
+    publish_envelope,
+)
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 SCALE = 0.002 if SMOKE else BENCH_SCALE
@@ -121,7 +126,9 @@ def test_parallel_and_cache_scaling(once):
     )
     publish("parallel_scaling_smoke" if SMOKE else "parallel_scaling", text)
 
-    if not SMOKE:
+    if SMOKE:
+        publish_envelope(BENCH_JSON.stem, entry)
+    else:
         append_bench_entry(BENCH_JSON, entry)
 
     # A warm cache skips all of Steps 1/2; it must not be slower than
@@ -247,5 +254,7 @@ def test_paircheck_kernel_vs_engine(once):
     )
     publish("pairkernel_smoke" if SMOKE else "pairkernel", text)
 
-    if not SMOKE:
+    if SMOKE:
+        publish_envelope(BENCH_PAIR_JSON.stem, entry)
+    else:
         append_bench_entry(BENCH_PAIR_JSON, entry)

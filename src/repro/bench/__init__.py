@@ -17,7 +17,22 @@ Everything is seeded and deterministic.
 from repro.bench.stdcells import StdCellLibrary, build_library
 from repro.bench.netlist import NetlistBuilder
 from repro.bench.ispd18 import ISPD18_TESTCASES, TestcaseSpec, build_testcase
-from repro.bench.aes14 import build_aes14
+from repro.bench.aes14 import AES14_SPEC, build_aes14
+from repro.bench.pinzoo import PINZOO_CASES, build_pinzoo
+
+
+def build_case(name: str, scale: float = 1.0):
+    """Build any named benchmark case: ispd18, aes14 or pin zoo.
+
+    One dispatch point so the qa goldens, the sweep runner and the
+    comparator all accept the same case names.
+    """
+    if name in PINZOO_CASES:
+        return build_pinzoo(name, scale=scale)
+    if name == AES14_SPEC.name:
+        return build_aes14(scale=scale)
+    return build_testcase(name, scale=scale)
+
 
 __all__ = [
     "StdCellLibrary",
@@ -27,4 +42,8 @@ __all__ = [
     "TestcaseSpec",
     "build_testcase",
     "build_aes14",
+    "AES14_SPEC",
+    "PINZOO_CASES",
+    "build_pinzoo",
+    "build_case",
 ]

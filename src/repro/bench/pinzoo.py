@@ -1,0 +1,459 @@
+"""The adversarial pin zoo: hostile inputs beyond friendly std cells.
+
+The pin-access-checker literature (and the FakeRAM fork that exists
+specifically to "fix pin access issue") shows that access oracles
+break not on the average standard cell but on the zoo's edge cases.
+Three deterministic case families, each a small self-contained design
+the comparator (`repro compare`) routes through every access flow:
+
+* ``pinzoo_sram``    -- SRAM/macro-style blocks: large multi-track
+  pins on upper metal (M3 boundary pins spanning several horizontal
+  tracks, M4 top pins spanning several vertical tracks), an M1/M2
+  obstruction core, and a ring of standard cells wired to the macro.
+* ``pinzoo_io``      -- off-grid and die-boundary IO pins: misaligned
+  vertical tracks (1.2 x pitch) plus IO pins whose centers sit at
+  odd offsets from every track, on all four die edges and both M2
+  and M3.
+* ``pinzoo_hostile`` -- deliberately hostile cells: a pin fully under
+  an obstruction (no legal via anywhere -- the legacy screen still
+  emits one), a single-AP sliver pin (only the shape-center ladder
+  rung survives), and min-width L-shapes (min-step traps at the
+  corner).
+
+Everything is seeded and deterministic; ``scale`` multiplies the
+population so the same families serve smoke tests and larger studies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.netlist import NetlistBuilder
+from repro.bench.stdcells import _add_rails, _snap
+from repro.db.design import Design, Row
+from repro.db.inst import Instance
+from repro.db.master import CellMaster, MasterPin, Obstruction, PinUse
+from repro.db.net import IOPin
+from repro.db.tracks import TrackPattern
+from repro.geom.point import Point
+from repro.geom.rect import Rect
+from repro.geom.transform import Orientation
+from repro.tech.nodes import make_node
+
+#: The zoo's case families, in catalog order.
+PINZOO_CASES = ("pinzoo_sram", "pinzoo_io", "pinzoo_hostile")
+
+
+def build_pinzoo(name: str, scale: float = 1.0) -> Design:
+    """Generate one pin-zoo design; ``scale`` multiplies the population."""
+    repeat = max(1, round(scale))
+    if name == "pinzoo_sram":
+        return _build_sram(repeat)
+    if name == "pinzoo_io":
+        return _build_io(repeat)
+    if name == "pinzoo_hostile":
+        return _build_hostile(repeat)
+    raise KeyError(f"no pin-zoo case named {name!r}")
+
+
+# -- shared floorplan helpers -------------------------------------------------
+
+
+def _floorplan(design: Design, rows: int, sites_per_row: int) -> None:
+    """Lay out die area, core origin and placement rows."""
+    tech = design.tech
+    site_w, site_h = tech.site_width, tech.site_height
+    core_inset = 4 * site_w
+    design.die_area = Rect(
+        0,
+        0,
+        sites_per_row * site_w + 2 * core_inset,
+        rows * site_h + 2 * core_inset,
+    )
+    design.core_origin = Point(core_inset, core_inset)
+    for r in range(rows):
+        design.add_row(
+            Row(
+                name=f"row_{r}",
+                origin=Point(core_inset, core_inset + r * site_h),
+                orient=Orientation.R0 if r % 2 == 0 else Orientation.MX,
+                count=sites_per_row,
+                site_width=site_w,
+                site_height=site_h,
+            )
+        )
+
+
+def _add_tracks(design: Design, misaligned: bool = False) -> None:
+    """One track pattern per routing layer (1.2x step when misaligned)."""
+    tech = design.tech
+    die = design.die_area
+    for layer in tech.routing_layers():
+        if layer.is_horizontal:
+            step = layer.pitch
+            start = die.ylo + layer.offset
+            count = max(1, (die.yhi - start) // step + 1)
+        else:
+            step = layer.pitch
+            if misaligned:
+                step = layer.pitch + layer.pitch // 5
+            start = die.xlo + layer.offset
+            count = max(1, (die.xhi - start) // step + 1)
+        design.add_track_pattern(
+            TrackPattern(
+                layer_name=layer.name,
+                direction=layer.direction,
+                start=start,
+                step=step,
+                count=count,
+            )
+        )
+
+
+def _place_row_cells(
+    design: Design, masters: list, rows: int, sites_per_row: int, gap: int = 2
+) -> int:
+    """Place ``masters`` round-robin across rows; return placed count."""
+    tech = design.tech
+    site_w, site_h = tech.site_width, tech.site_height
+    core = design.core_origin
+    placed = 0
+    idx = 0
+    for r in range(rows):
+        orient = Orientation.R0 if r % 2 == 0 else Orientation.MX
+        cursor = 0
+        while idx < len(masters):
+            master = masters[idx]
+            width_sites = -(-master.width // site_w)
+            if cursor + width_sites > sites_per_row:
+                break
+            design.add_instance(
+                Instance(
+                    name=f"inst_{placed + 1}",
+                    master=master,
+                    location=Point(
+                        core.x + cursor * site_w, core.y + r * site_h
+                    ),
+                    orient=orient,
+                )
+            )
+            placed += 1
+            idx += 1
+            cursor += width_sites + gap
+        if idx >= len(masters):
+            break
+    return placed
+
+
+# -- pinzoo_sram: macro-style multi-track pins on upper metal -----------------
+
+
+def _sram_master(tech, name: str, seed: int) -> CellMaster:
+    """An SRAM-like block: wide multi-track M3/M4 pins, blocked core."""
+    rng = random.Random(f"{tech.name}:{name}:{seed}")
+    m3 = tech.layer("M3")
+    m4 = tech.layer("M4")
+    p3, w3 = m3.pitch, m3.width
+    p4, w4 = m4.pitch, m4.width
+    width = 30 * tech.site_width
+    height = 10 * tech.site_height
+    master = CellMaster(name=name, width=width, height=height, is_macro=True)
+
+    # Left-edge M3 pins: each spans three horizontal tracks in y (the
+    # SRAM word/bit-line port shape FakeRAM emits) and reaches four
+    # pitches into the core in x.
+    num_side = 4 + rng.randrange(3)
+    for i in range(num_side):
+        yc = _snap(height * (i + 1) // (num_side + 1), 10)
+        prefix = "P" if i % 2 == 0 else "D"
+        pin = MasterPin(name=f"{prefix}{i + 1}", use=PinUse.SIGNAL)
+        pin.add_shape(
+            "M3", Rect(0, yc - 3 * p3 // 2, 4 * p3, yc + 3 * p3 // 2)
+        )
+        master.add_pin(pin)
+    # Top-edge M4 pins: wide in x, spanning three vertical tracks.
+    num_top = 3
+    for i in range(num_top):
+        xc = _snap(width * (i + 1) // (num_top + 1), 10)
+        prefix = "Q" if i % 2 == 0 else "A"
+        pin = MasterPin(name=f"{prefix}T{i + 1}", use=PinUse.SIGNAL)
+        pin.add_shape(
+            "M4",
+            Rect(
+                xc - 3 * p4 // 2,
+                height - 4 * p4,
+                xc + 3 * p4 // 2,
+                height - 4 * p4 + 2 * w4,
+            ),
+        )
+        master.add_pin(pin)
+    # The core is opaque on the lower layers, as in a real hard macro.
+    margin = 4 * p3
+    for layer_name in ("M1", "M2"):
+        master.add_obstruction(
+            Obstruction(
+                layer_name=layer_name,
+                rect=Rect(
+                    margin, margin, width - margin, height - margin
+                ),
+            )
+        )
+    # A partial M3 blockage strip hugs the pin edge -- the hostile
+    # detail the FakeRAM pin-access fork exists to work around.
+    master.add_obstruction(
+        Obstruction(
+            layer_name="M3",
+            rect=Rect(5 * p3, margin, width - margin, height - margin),
+        )
+    )
+    return master
+
+
+def _build_sram(repeat: int) -> Design:
+    from repro.bench.stdcells import build_library
+
+    tech = make_node("N45")
+    design = Design(name="pinzoo_sram", tech=tech)
+    library = build_library(tech, seed=7, num_masters=8, num_macros=0)
+    srams = [
+        _sram_master(tech, f"SRAM_{i + 1}", seed=7 + i)
+        for i in range(max(1, repeat))
+    ]
+    for master in library.masters + srams:
+        design.add_master(master)
+
+    site_w, site_h = tech.site_width, tech.site_height
+    macro_rows = -(-srams[0].height // site_h)
+    macro_sites = -(-srams[0].width // site_w)
+    rows = macro_rows + 4
+    sites_per_row = max(60, (macro_sites + 4) * len(srams))
+    _floorplan(design, rows, sites_per_row)
+    core = design.core_origin
+
+    # Macros bottom-left, standard cells in the rows above them.
+    for k, master in enumerate(srams):
+        design.add_instance(
+            Instance(
+                name=f"sram_{k + 1}",
+                master=master,
+                location=Point(
+                    core.x + k * (macro_sites + 4) * site_w, core.y
+                ),
+                orient=Orientation.R0,
+            )
+        )
+    cells = [library.masters[i % len(library.masters)] for i in range(12)]
+    tech_rows = rows - macro_rows
+    placed = 0
+    for r in range(tech_rows):
+        row_index = macro_rows + r
+        orient = Orientation.R0 if row_index % 2 == 0 else Orientation.MX
+        cursor = 0
+        for master in cells[placed:]:
+            width_sites = -(-master.width // site_w)
+            if cursor + width_sites > sites_per_row:
+                break
+            design.add_instance(
+                Instance(
+                    name=f"inst_{placed + 1}",
+                    master=master,
+                    location=Point(
+                        core.x + cursor * site_w,
+                        core.y + row_index * site_h,
+                    ),
+                    orient=orient,
+                )
+            )
+            placed += 1
+            cursor += width_sites + 2
+        if placed >= len(cells):
+            break
+    _add_tracks(design)
+    NetlistBuilder(design, seed=7).build(target_nets=None, num_io_pins=0)
+    return design
+
+
+# -- pinzoo_io: off-grid and die-boundary IO pins -----------------------------
+
+
+def _build_io(repeat: int) -> Design:
+    from repro.bench.stdcells import build_library
+
+    tech = make_node("N45")
+    design = Design(name="pinzoo_io", tech=tech)
+    library = build_library(tech, seed=11, num_masters=10, num_macros=0)
+    for master in library.masters:
+        design.add_master(master)
+
+    cells = [
+        library.masters[i % len(library.masters)]
+        for i in range(16 * max(1, repeat))
+    ]
+    rows = 4 * max(1, repeat)
+    _floorplan(design, rows, sites_per_row=50)
+    # Misaligned vertical tracks: site-to-track gear ratio 1.2, the
+    # mechanism that makes on-track-only access starve (Figure 1).
+    _add_tracks(design, misaligned=True)
+    _place_row_cells(design, cells, rows, sites_per_row=50)
+    NetlistBuilder(design, seed=11).build(target_nets=None, num_io_pins=0)
+
+    nets = list(design.nets.values())
+    if not nets:
+        return design
+    die = design.die_area
+    m2 = tech.layer("M2")
+    m3 = tech.layer("M3")
+    w2, w3 = m2.width, m3.width
+    # The off-grid offset: a prime step no track multiple ever hits.
+    offsets = (7, 13, 23, 37)
+    count = 0
+
+    def _attach(pin: IOPin) -> None:
+        nonlocal count
+        design.add_io_pin(pin)
+        nets[count % len(nets)].add_io_pin(pin.name)
+        count += 1
+
+    num_side = 3 * max(1, repeat)
+    for i in range(num_side):
+        # Left/right edges: M2 (vertical routing layer) pins whose y
+        # centers sit off every horizontal track.
+        y = (
+            die.ylo
+            + 4 * w2
+            + (i * (die.height - 8 * w2)) // max(1, num_side)
+            + offsets[i % len(offsets)]
+        )
+        _attach(
+            IOPin(
+                name=f"ioL_{i + 1}",
+                layer_name="M2",
+                rect=Rect(die.xlo, y - w2, die.xlo + 4 * w2, y + w2),
+            )
+        )
+        _attach(
+            IOPin(
+                name=f"ioR_{i + 1}",
+                layer_name="M2",
+                rect=Rect(die.xhi - 4 * w2, y - w2, die.xhi, y + w2),
+            )
+        )
+        # Top/bottom edges: M3 (horizontal layer) pins whose x centers
+        # sit off every vertical track -- doubly so with the 1.2x
+        # misaligned steps.
+        x = (
+            die.xlo
+            + 4 * w3
+            + (i * (die.width - 8 * w3)) // max(1, num_side)
+            + offsets[(i + 1) % len(offsets)]
+        )
+        _attach(
+            IOPin(
+                name=f"ioB_{i + 1}",
+                layer_name="M3",
+                rect=Rect(x - w3, die.ylo, x + w3, die.ylo + 4 * w3),
+            )
+        )
+        _attach(
+            IOPin(
+                name=f"ioT_{i + 1}",
+                layer_name="M3",
+                rect=Rect(x - w3, die.yhi - 4 * w3, x + w3, die.yhi),
+            )
+        )
+    return design
+
+
+# -- pinzoo_hostile: cells built to break access ------------------------------
+
+
+def _hostile_masters(tech, seed: int) -> list:
+    """The three hostile archetypes as single-height masters."""
+    m1 = tech.layer("M1")
+    p, w = m1.pitch, m1.width
+    site = tech.site_width
+    height = tech.site_height
+    yc = _snap(height // 2, 10)
+    masters = []
+
+    def _master(name: str, num_sites: int) -> CellMaster:
+        master = CellMaster(
+            name=name,
+            width=num_sites * site,
+            height=height,
+            site_name=tech.site_name,
+        )
+        _add_rails(master, tech, master.width, height)
+        return master
+
+    def _out_pin(master: CellMaster) -> None:
+        # A friendly two-track output bar so the net itself can route;
+        # only the hostile *input* pin is under test.
+        xc = _snap(master.width - 2 * p, 10)
+        pin = MasterPin(name="ZN", use=PinUse.SIGNAL)
+        pin.add_shape("M1", Rect(xc - p, yc - w, xc + p, yc + w))
+        master.add_pin(pin)
+
+    # 1) COVERED: the input pin is fully under an M1 obstruction -- any
+    #    via's bottom enclosure shorts or crowds the blockage, so no
+    #    candidate is clean anywhere on the pin.  The legacy
+    #    containment-only screen (pin + one obstruction = 2 overlapping
+    #    shapes, within its tolerance) still accepts the point.
+    covered = _master("HOSTILE_COVERED", 8)
+    pin = MasterPin(name="A", use=PinUse.SIGNAL)
+    xc = _snap(2 * p, 10)
+    pin.add_shape("M1", Rect(xc - p, yc - w, xc + p, yc + w))
+    covered.add_pin(pin)
+    covered.add_obstruction(
+        Obstruction(
+            layer_name="M1",
+            rect=Rect(xc - p - w, yc - 2 * w, xc + p + w, yc + 2 * w),
+        )
+    )
+    _out_pin(covered)
+    masters.append(covered)
+
+    # 2) SLIVER: a bar of exactly via-enclosure height and barely more
+    #    than via-enclosure width -- only the shape-center rung of the
+    #    coordinate ladder survives min-step, and only just.
+    sliver = _master("HOSTILE_SLIVER", 8)
+    pin = MasterPin(name="A", use=PinUse.SIGNAL)
+    xc = _snap(2 * p, 10)
+    pin.add_shape(
+        "M1", Rect(xc - p // 2, yc - w // 2, xc + p // 2, yc + w // 2)
+    )
+    sliver.add_pin(pin)
+    _out_pin(sliver)
+    masters.append(sliver)
+
+    # 3) MINL: a min-width L -- both legs exactly one wire width, the
+    #    inner corner a min-step trap for any via enclosure that pokes
+    #    past it.
+    minl = _master("HOSTILE_MINL", 8)
+    pin = MasterPin(name="A", use=PinUse.SIGNAL)
+    xc = _snap(2 * p, 10)
+    pin.add_shape(
+        "M1", Rect(xc - w // 2, yc - p, xc + w // 2, yc + p)
+    )
+    pin.add_shape(
+        "M1", Rect(xc - w // 2, yc - p, xc + p + w // 2, yc - p + w)
+    )
+    minl.add_pin(pin)
+    _out_pin(minl)
+    masters.append(minl)
+    return masters
+
+
+def _build_hostile(repeat: int) -> Design:
+    tech = make_node("N45")
+    design = Design(name="pinzoo_hostile", tech=tech)
+    hostile = _hostile_masters(tech, seed=3)
+    for master in hostile:
+        design.add_master(master)
+    cells = [hostile[i % len(hostile)] for i in range(12 * max(1, repeat))]
+    rows = 3 * max(1, repeat)
+    _floorplan(design, rows, sites_per_row=48)
+    _add_tracks(design)
+    _place_row_cells(design, cells, rows, sites_per_row=48)
+    NetlistBuilder(design, seed=3).build(target_nets=None, num_io_pins=0)
+    return design

@@ -14,6 +14,11 @@ The deployment surface a downstream user drives:
   spec into a resumable run directory, ``status`` it, and ``report``
   the trend with a regression gate against goldens and
   ``BENCH_*.json`` baselines.
+* ``compare``  -- router-in-the-loop comparator (Experiment 3,
+  Figures 8-9): ``run`` a case matrix through the in-process PAO,
+  serve-backed PAO and legacy Dr. CU-style access flows, then
+  ``report`` the DRC/opens/wirelength deltas gated against the
+  committed ``goldens/compare`` corpus.
 * ``serve``    -- host the analyzed design as a long-lived daemon
   (the ``repro.serve/v1`` protocol over TCP or a Unix socket), with
   optional request telemetry: per-op RED windows, SLO evaluation,
@@ -155,6 +160,19 @@ def _build_parser() -> argparse.ArgumentParser:
     rte.add_argument("--scope", choices=("pin-access", "full"),
                      default="pin-access")
     rte.add_argument("--svg", help="write the routed view to this SVG path")
+    rte.add_argument("-j", "--jobs", type=_job_count, default=1,
+                     help="analysis worker processes (0 = all cores)")
+    rte.add_argument("--cache-dir",
+                     help="persistent AP/pattern cache root (same cache "
+                          "the other commands honor)")
+    rte.add_argument("--apcheck-mode",
+                     choices=("array", "engine", "verify"),
+                     default="array",
+                     help="Step 1/3 candidate backend")
+    rte.add_argument("--paircheck-mode",
+                     choices=("kernel", "engine", "verify"),
+                     default="kernel",
+                     help="via-pair backend")
     rte.set_defaults(handler=_cmd_route)
 
     ren = sub.add_parser("render", help="render the pin access view")
@@ -368,6 +386,64 @@ def _build_parser() -> argparse.ArgumentParser:
     srep.add_argument("--fail-on-regress", action="store_true",
                       help="exit non-zero when any check regresses")
     srep.set_defaults(handler=_cmd_sweep_report)
+
+    cmp = sub.add_parser(
+        "compare",
+        help="router-in-the-loop access-flow comparator (Experiment 3)",
+    )
+    cmp.set_defaults(handler=_cmd_compare_help, compare_parser=cmp)
+    cmp_sub = cmp.add_subparsers(dest="compare_command")
+
+    crun = cmp_sub.add_parser(
+        "run",
+        help="route a case matrix through the access flows into a "
+             "resumable run directory",
+    )
+    crun.add_argument("cases", nargs="*", metavar="CASE[@SCALE]",
+                      help="cases like ispd18_test1@0.004 or "
+                           "pinzoo_hostile (scale defaults to 1)")
+    crun.add_argument("--matrix", choices=("golden", "smoke"),
+                      help="prepend a committed case matrix (the "
+                           "golden corpus or the CI smoke subset)")
+    crun.add_argument("--flows", nargs="+",
+                      choices=("pao", "serve", "legacy"),
+                      default=["pao", "serve", "legacy"],
+                      help="access flows to run (default: all three)")
+    crun.add_argument("--dir", dest="run_dir",
+                      help="run directory (default: compare-runs/<matrix "
+                           "or 'run'>)")
+    crun.add_argument("-j", "--jobs", type=_job_count, default=1,
+                      help="concurrent (case, flow) worker processes "
+                           "(0 = all cores)")
+    crun.add_argument("--timeout", type=float, default=1800.0,
+                      help="per-flow timeout in seconds (default 1800)")
+    crun.add_argument("--cache-dir",
+                      help="persistent AP/pattern cache root (default: "
+                           "<run dir>/apcache, shared across flows)")
+    crun.add_argument("--force", action="store_true",
+                      help="re-execute cached (case, flow) results")
+    crun.set_defaults(handler=_cmd_compare_run)
+
+    crep = cmp_sub.add_parser(
+        "report",
+        help="gate a comparator run against goldens and invariants",
+    )
+    crep.add_argument("run_dir", help="comparator run directory")
+    crep.add_argument("--goldens", default="goldens/compare",
+                      help="compare golden corpus directory "
+                           "(default: goldens/compare)")
+    crep.add_argument("--no-goldens", action="store_true",
+                      help="skip the golden comparison")
+    crep.add_argument("--accept", action="store_true",
+                      help="write the run's numbers as goldens instead "
+                           "of gating")
+    crep.add_argument("--md", dest="md_path",
+                      help="write the markdown report here")
+    crep.add_argument("--json", dest="json_path",
+                      help="write the report JSON here")
+    crep.add_argument("--fail-on-regress", action="store_true",
+                      help="exit non-zero on any gate failure")
+    crep.set_defaults(handler=_cmd_compare_report)
 
     return parser
 
@@ -598,7 +674,18 @@ def _cmd_explain(args) -> int:
 def _cmd_route(args) -> int:
     design = _load(args)
     if args.access == "pao":
-        access_map = PinAccessFramework(design).run().access_map()
+        config = PaafConfig(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            apcheck_mode=args.apcheck_mode,
+            paircheck_mode=args.paircheck_mode,
+        )
+        try:
+            access_map = PinAccessFramework(design, config).run().access_map()
+        except OSError as exc:
+            raise CliError(
+                f"cannot use cache dir {args.cache_dir!r}: {exc}"
+            ) from exc
     else:
         access_map = drcu_access_map(design)
     result = DetailedRouter(design).route(access_map)
@@ -1282,6 +1369,104 @@ def _cmd_sweep_report(args) -> int:
         print(f"wrote {args.json_path}")
     if report["regressions"]:
         print(f"regressions: {len(report['regressions'])}")
+        if args.fail_on_regress:
+            return 1
+    return 0
+
+
+def _cmd_compare_help(args) -> int:
+    args.compare_parser.print_help()
+    return 2
+
+
+def _cmd_compare_run(args) -> int:
+    import os
+
+    from repro.compare import (
+        GOLDEN_MATRIX,
+        SMOKE_MATRIX,
+        parse_case,
+        run_compare,
+    )
+
+    cases = []
+    if args.matrix == "golden":
+        cases.extend(GOLDEN_MATRIX)
+    elif args.matrix == "smoke":
+        cases.extend(SMOKE_MATRIX)
+    for text in args.cases:
+        try:
+            cases.append(parse_case(text))
+        except ValueError as exc:
+            raise CliError(f"bad case {text!r}: {exc}") from exc
+    # Dedupe while preserving order (a matrix plus explicit repeats).
+    seen, unique = set(), []
+    for case in cases:
+        if case.case_id not in seen:
+            seen.add(case.case_id)
+            unique.append(case)
+    if not unique:
+        raise CliError("no cases: pass CASE[@SCALE] args or --matrix")
+    run_dir = args.run_dir or os.path.join(
+        "compare-runs", args.matrix or "run"
+    )
+    jobs = args.jobs or os.cpu_count() or 1
+    summary = run_compare(
+        unique,
+        args.flows,
+        run_dir,
+        jobs=jobs,
+        flow_timeout_s=args.timeout,
+        cache_dir=args.cache_dir,
+        force=args.force,
+    )
+    counts = summary["counts"]
+    print(
+        f"compare: {counts.get('done', 0)} done, "
+        f"{counts.get('cached', 0)} cached, "
+        f"{counts.get('failed', 0)} failed, "
+        f"{counts.get('timeout', 0)} timeout -> {run_dir}"
+    )
+    bad = counts.get("failed", 0) + counts.get("timeout", 0)
+    return 0 if bad == 0 else 1
+
+
+def _cmd_compare_report(args) -> int:
+    import json
+
+    from repro.compare import build_report, render_markdown, write_goldens
+
+    goldens_dir = None if args.no_goldens else args.goldens
+    report = build_report(args.run_dir, goldens_dir=goldens_dir)
+    if not report["cases"]:
+        raise CliError(f"no comparator cases under {args.run_dir!r}")
+    if args.accept:
+        if args.no_goldens:
+            raise CliError("--accept conflicts with --no-goldens")
+        written = write_goldens(report, args.goldens)
+        for path in written:
+            print(f"accepted {path}")
+        incomplete = [
+            case["case"] for case in report["cases"]
+            if not case["complete"]
+        ]
+        if incomplete:
+            print(f"skipped incomplete: {', '.join(incomplete)}")
+            return 1
+        return 0
+    markdown = render_markdown(report)
+    print(markdown, end="")
+    if args.md_path:
+        with open(args.md_path, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.md_path}")
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_path}")
+    if report["failures"]:
+        print(f"failures: {len(report['failures'])}")
         if args.fail_on_regress:
             return 1
     return 0

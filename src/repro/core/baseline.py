@@ -190,3 +190,69 @@ class LegacyPinAccess:
         # The pin's own rect always matches; more than a handful of
         # stacked foreign shapes suggests a blocked location.
         return overlapping <= 2
+
+
+def legacy_io_access(design: Design, k: int = 3) -> dict:
+    """Naive on-track access for top-level IO pins (legacy style).
+
+    The same strategy the legacy flow applies to cell pins, extended
+    to the die boundary: on-track crossing points inside the IO pin
+    shape, no coordinate ladder and no DRC validation.  Off-grid IO
+    pins -- whose shapes straddle no track intersection -- come back
+    with an empty list, i.e. the legacy flow simply cannot reach them.
+    Returns ``{io_pin_name: [AccessPoint, ...]}``.
+    """
+    tech = design.tech
+    out = {}
+    for io_pin in design.io_pins.values():
+        layer = tech.layer(io_pin.layer_name)
+        if not layer.is_routing:
+            out[io_pin.name] = []
+            continue
+        try:
+            viadef = tech.primary_via_from(layer.name)
+        except KeyError:
+            viadef = None
+        pref_axis = "y" if layer.is_horizontal else "x"
+        pref_patterns = track_patterns_for_axis(design, tech, layer, pref_axis)
+        nonpref_patterns = track_patterns_for_axis(
+            design, tech, layer, "x" if pref_axis == "y" else "y"
+        )
+        rect = io_pin.rect
+        pref_span = rect.yspan if pref_axis == "y" else rect.xspan
+        nonpref_span = rect.xspan if pref_axis == "y" else rect.yspan
+        pref_coords = sorted(
+            {
+                c
+                for p in pref_patterns
+                for c in p.coords_in(pref_span.lo, pref_span.hi)
+            }
+        )
+        nonpref_coords = sorted(
+            {
+                c
+                for p in nonpref_patterns
+                for c in p.coords_in(nonpref_span.lo, nonpref_span.hi)
+            }
+        )
+        aps = []
+        for pc in pref_coords:
+            for nc in nonpref_coords:
+                if len(aps) >= k:
+                    break
+                x, y = (nc, pc) if pref_axis == "y" else (pc, nc)
+                aps.append(
+                    AccessPoint(
+                        x=x,
+                        y=y,
+                        layer_name=layer.name,
+                        pref_type=CoordType.ON_TRACK,
+                        nonpref_type=CoordType.ON_TRACK,
+                        valid_vias=(
+                            [viadef.name] if viadef is not None else []
+                        ),
+                        planar_dirs=[],
+                    )
+                )
+        out[io_pin.name] = aps
+    return out

@@ -69,11 +69,11 @@ def run_case(
     any combination must reproduce the same fingerprint, which is
     exactly what the cross-matrix CI jobs assert.
     """
-    from repro.bench import build_testcase
+    from repro.bench import build_case
     from repro.core import PaafConfig, PinAccessFramework
     from repro.core.framework import evaluate_failed_pins
 
-    design = build_testcase(testcase, scale=scale)
+    design = build_case(testcase, scale=scale)
     config = PaafConfig(
         jobs=jobs,
         paircheck_mode=paircheck_mode,

@@ -20,3 +20,21 @@ def drcu_access_map(design: Design) -> dict:
     legacy = LegacyPinAccess(design)
     result = legacy.run()
     return legacy.access_map(result)
+
+
+def drcu_io_access_map(design: Design) -> dict:
+    """Return the Dr. CU-style IO pin selection for ``design``.
+
+    IO-pin parity with the PAO flow: the same naive on-track strategy
+    the legacy flow uses on cell pins, first point per pin.  IO pins
+    the strategy cannot reach (off-grid shapes with no on-track
+    crossing) are absent from the map -- the comparator scores that
+    coverage gap separately from cell-pin access quality.
+    """
+    from repro.core.baseline import legacy_io_access
+
+    return {
+        name: aps[0]
+        for name, aps in legacy_io_access(design).items()
+        if aps
+    }

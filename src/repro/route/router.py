@@ -56,15 +56,20 @@ class DetailedRouter:
         access_map: dict,
         max_nets: int = None,
         repair_min_area: bool = True,
+        io_access: dict = None,
     ) -> RoutingResult:
         """Route every net; returns geometry and statistics.
 
         ``access_map`` maps (instance name, pin name) to the selected
         :class:`~repro.core.apgen.AccessPoint`; terminals without an
         entry are left unconnected (counted, as a real router would
-        report pin access failures).  ``repair_min_area`` extends
-        undersized isolated metal after routing (real routers patch
-        min-area the same way).
+        report pin access failures).  ``io_access`` optionally maps IO
+        pin names to their selected access points: when given, IO
+        terminals enter the grid at the chosen point (and a missing
+        entry counts as an unconnected terminal); when ``None`` the
+        router falls back to tapping every IO pin at its shape center.
+        ``repair_min_area`` extends undersized isolated metal after
+        routing (real routers patch min-area the same way).
         """
         result = RoutingResult()
         t0 = time.perf_counter()
@@ -76,7 +81,9 @@ class DetailedRouter:
         # its owner routes (a real router's pin-blockage modeling).
         terminals_by_net = {}
         for net in nets:
-            terminals = self._net_terminals(net, access_map, result)
+            terminals = self._net_terminals(
+                net, access_map, result, io_access
+            )
             terminals_by_net[net.name] = terminals
             for access, node in terminals:
                 self.grid.occupancy.setdefault(node, net.name)
@@ -175,7 +182,7 @@ class DetailedRouter:
         else:
             result.failed_nets.append(net.name)
 
-    def _net_terminals(self, net, access_map, result) -> list:
+    def _net_terminals(self, net, access_map, result, io_access=None) -> list:
         terminals = []
         seen_nodes = set()
         for inst_name, pin_name in net.terms:
@@ -204,17 +211,28 @@ class DetailedRouter:
             io_pin = self.design.io_pins.get(io_name)
             if io_pin is None:
                 continue
+            if io_access is not None:
+                # Flow-selected IO entry: the access analysis picked
+                # the tap point; a pin it could not cover is a real
+                # open, reported like any other access failure.
+                io_ap = io_access.get(io_name)
+                if io_ap is None:
+                    result.unconnected_terms += 1
+                    continue
+                tap_x, tap_y = io_ap.x, io_ap.y
+            else:
+                center = io_pin.rect.center
+                tap_x, tap_y = center.x, center.y
             try:
                 io_level = self.grid.level_of(io_pin.layer_name)
             except KeyError:
                 continue
-            center = io_pin.rect.center
             node = self._entry_node(
-                center.x, center.y, net.name, seen_nodes, io_level
+                tap_x, tap_y, net.name, seen_nodes, io_level
             )
             if node is not None:
                 seen_nodes.add(node)
-                terminals.append((_IoAccess(io_pin), node))
+                terminals.append((_IoAccess(io_pin, tap_x, tap_y), node))
         return terminals
 
     def _entry_node(self, x, y, net_name, seen_nodes, entry_level=0):
@@ -351,7 +369,7 @@ class DetailedRouter:
         entry_layer = self.grid.layer_of(node[0])
         half = entry_layer.width // 2
         if isinstance(access, _IoAccess):
-            sx, sy = access.io_pin.rect.center.as_tuple()
+            sx, sy = access.x, access.y
         else:
             result.vias.append(
                 (net_name, access.primary_via, access.x, access.y)
@@ -419,10 +437,17 @@ class DetailedRouter:
 
 
 class _IoAccess:
-    """Terminal adapter for IO pins (no up-via needed)."""
+    """Terminal adapter for IO pins (no up-via needed).
 
-    def __init__(self, io_pin):
+    ``x``/``y`` is the tap point: the flow-selected access point when
+    one was provided, the shape center otherwise.
+    """
+
+    def __init__(self, io_pin, x=None, y=None):
         self.io_pin = io_pin
+        center = io_pin.rect.center
+        self.x = center.x if x is None else x
+        self.y = center.y if y is None else y
 
 
 def net_layer_components(design: Design, result: RoutingResult) -> list:

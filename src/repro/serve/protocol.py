@@ -470,6 +470,30 @@ def ap_to_wire(ap) -> Optional[dict]:
     }
 
 
+def ap_from_wire(wire: Optional[dict]):
+    """Reconstruct an :class:`~repro.core.apgen.AccessPoint` from the wire.
+
+    Exact inverse of :func:`ap_to_wire`: ``ap_to_wire(ap_from_wire(w))
+    == w`` for every well-formed payload, which is what lets a remote
+    consumer (the comparator's serve-backed routing flow) assert
+    bit-identity against an in-process oracle.
+    """
+    if wire is None:
+        return None
+    from repro.core.apgen import AccessPoint
+    from repro.core.coords import CoordType
+
+    return AccessPoint(
+        x=wire["x"],
+        y=wire["y"],
+        layer_name=wire["layer"],
+        pref_type=CoordType(wire["pref_type"]),
+        nonpref_type=CoordType(wire["nonpref_type"]),
+        valid_vias=list(wire["vias"]),
+        planar_dirs=list(wire["planar"]),
+    )
+
+
 def answer_to_wire(answer, generation: int) -> dict:
     """Render a :class:`~repro.core.oracle.PinAccessAnswer`.
 

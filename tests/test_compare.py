@@ -1,0 +1,274 @@
+"""The router-in-the-loop comparator harness."""
+
+import json
+import os
+
+import pytest
+
+from repro.compare import (
+    COMPARE_SCHEMA,
+    FLOWS,
+    GOLDEN_MATRIX,
+    SMOKE_MATRIX,
+    CaseSpec,
+    build_report,
+    parse_case,
+    render_markdown,
+    run_compare,
+    write_goldens,
+)
+from repro.compare.report import _check_golden, golden_path
+from repro.sweep.runner import _read_json, _write_json
+
+
+@pytest.fixture(scope="module")
+def run(tmp_path_factory):
+    """One full pinzoo_hostile run across all three flows."""
+    run_dir = str(tmp_path_factory.mktemp("cmp"))
+    case = CaseSpec("pinzoo_hostile", 1.0)
+    summary = run_compare([case], FLOWS, run_dir, jobs=1, out=lambda s: None)
+    return case, run_dir, summary
+
+
+class TestCaseSpecs:
+    def test_parse_case_with_scale(self):
+        case = parse_case("ispd18_test1@0.004")
+        assert case.testcase == "ispd18_test1"
+        assert case.scale == 0.004
+        assert case.case_id == "ispd18_test1@0.004"
+
+    def test_parse_case_defaults_scale(self):
+        assert parse_case("pinzoo_io").scale == 1.0
+
+    def test_matrices_cover_the_zoo(self):
+        golden_ids = {case.testcase for case in GOLDEN_MATRIX}
+        smoke_ids = {case.testcase for case in SMOKE_MATRIX}
+        zoo = {"pinzoo_sram", "pinzoo_io", "pinzoo_hostile"}
+        assert zoo <= golden_ids
+        assert zoo <= smoke_ids
+        assert "aes_14nm" in golden_ids
+
+
+class TestRunLifecycle:
+    def test_all_flows_done(self, run):
+        _, _, summary = run
+        assert summary["counts"] == {
+            "done": 3, "cached": 0, "failed": 0, "timeout": 0
+        }
+        assert summary["complete_cases"] == {"pinzoo_hostile@1": True}
+
+    def test_flow_dirs_have_terminal_status(self, run):
+        case, run_dir, _ = run
+        for flow in FLOWS:
+            base = os.path.join(run_dir, "cases", case.case_id, flow)
+            status = _read_json(os.path.join(base, "status.json"))
+            assert status["state"] == "done"
+            assert _read_json(os.path.join(base, "flow.json")) is not None
+            assert os.path.exists(os.path.join(base, "log.txt"))
+
+    def test_case_report_written(self, run):
+        case, run_dir, _ = run
+        report = _read_json(
+            os.path.join(run_dir, "cases", case.case_id, "report.json")
+        )
+        assert report["schema"] == COMPARE_SCHEMA
+        assert report["complete"]
+        assert set(report["flows"]) == set(FLOWS)
+
+    def test_envelope_is_bench_schema(self, run):
+        case, run_dir, _ = run
+        envelope = _read_json(
+            os.path.join(
+                run_dir, "envelopes", f"compare-{case.case_id}.json"
+            )
+        )
+        assert envelope["schema"] == "repro.qa.bench/v1"
+        metrics = envelope["metrics"]
+        assert metrics["serve_wire_identical"] == 1
+        assert metrics["pin_access_drc_ratio"] >= 10.0
+        assert "pao_pin_access_drcs" in metrics
+        assert "legacy_full_drcs" in metrics
+
+    def test_serve_flow_is_bit_identical_to_pao(self, run):
+        case, run_dir, _ = run
+        report = _read_json(
+            os.path.join(run_dir, "cases", case.case_id, "report.json")
+        )
+        pao = report["metrics"]["pao"]
+        serve = {
+            k: v
+            for k, v in report["metrics"]["serve"].items()
+            if not k.startswith("serve.")
+        }
+        assert {k: v for k, v in pao.items()} == serve
+        assert report["flows"]["serve"]["serve"]["wire_identical"]
+        assert report["flows"]["serve"]["serve"]["mismatches"] == []
+
+    def test_figure8_ordering_holds(self, run):
+        case, run_dir, _ = run
+        report = _read_json(
+            os.path.join(run_dir, "cases", case.case_id, "report.json")
+        )
+        ordering = report["ordering"]
+        assert ordering["pao_pin_access"] == 0
+        assert ordering["legacy_pin_access"] >= 10
+        assert ordering["figure8_ok"]
+
+    def test_resume_reuses_everything(self, run):
+        case, run_dir, _ = run
+        summary = run_compare(
+            [case], FLOWS, run_dir, jobs=1, out=lambda s: None
+        )
+        assert summary["counts"]["cached"] == 3
+        assert summary["counts"]["done"] == 0
+
+    def test_force_reruns_scrubbed_flow(self, run):
+        case, run_dir, _ = run
+        summary = run_compare(
+            [case],
+            ["legacy"],
+            run_dir,
+            jobs=1,
+            force=True,
+            out=lambda s: None,
+        )
+        assert summary["counts"]["done"] == 1
+
+    def test_unknown_flow_fails_cleanly(self, tmp_path):
+        case = CaseSpec("pinzoo_hostile", 1.0)
+        summary = run_compare(
+            [case], ["bogus"], str(tmp_path), jobs=1, out=lambda s: None
+        )
+        assert summary["counts"]["failed"] == 1
+        status = _read_json(
+            os.path.join(
+                str(tmp_path), "cases", case.case_id, "bogus", "status.json"
+            )
+        )
+        assert status["state"] == "failed"
+        report = _read_json(
+            os.path.join(str(tmp_path), "cases", case.case_id, "report.json")
+        )
+        assert not report["complete"]
+
+
+class TestGoldenGate:
+    def test_report_ok_without_goldens(self, run):
+        _, run_dir, _ = run
+        report = build_report(run_dir)
+        assert report["status"] == "ok"
+        assert report["failures"] == []
+
+    def test_accept_then_gate_passes(self, run, tmp_path):
+        _, run_dir, _ = run
+        goldens = str(tmp_path / "goldens")
+        written = write_goldens(build_report(run_dir), goldens)
+        assert len(written) == 1
+        report = build_report(run_dir, goldens_dir=goldens)
+        assert report["status"] == "ok"
+        assert report["rows"][0]["golden"]
+
+    def test_tampered_golden_regresses(self, run, tmp_path):
+        _, run_dir, _ = run
+        goldens = str(tmp_path / "goldens")
+        write_goldens(build_report(run_dir), goldens)
+        path = golden_path(goldens, "pinzoo_hostile@1")
+        golden = _read_json(path)
+        golden["metrics"]["legacy"]["drc.pin_access_total"] = 999
+        _write_json(path, golden)
+        report = build_report(run_dir, goldens_dir=goldens)
+        assert report["status"] == "regressed"
+        kinds = {f["kind"] for f in report["failures"]}
+        assert kinds == {"golden"}
+        failure = report["failures"][0]
+        assert failure["metric"] == "drc.pin_access_total"
+        assert failure["want"] == 999
+
+    def test_missing_golden_is_not_gating(self, run, tmp_path):
+        _, run_dir, _ = run
+        report = build_report(
+            run_dir, goldens_dir=str(tmp_path / "empty")
+        )
+        assert report["status"] == "ok"
+        assert not report["rows"][0]["golden"]
+
+    def test_figure8_failure_kind(self):
+        golden = {
+            "ordering": {"figure8_ok": True},
+            "metrics": {},
+        }
+        report = {
+            "case": "synthetic@1",
+            "ordering": {
+                "pao_pin_access": 5,
+                "legacy_pin_access": 6,
+                "figure8_ok": False,
+            },
+            "metrics": {},
+        }
+        failures = _check_golden(report, golden)
+        assert [f["kind"] for f in failures] == ["figure8"]
+
+    def test_missing_flow_in_report_is_golden_failure(self):
+        golden = {"ordering": {}, "metrics": {"legacy": {"x": 1}}}
+        report = {"case": "synthetic@1", "ordering": {}, "metrics": {}}
+        failures = _check_golden(report, golden)
+        assert failures[0]["kind"] == "golden"
+        assert failures[0]["metric"] == "<flow missing>"
+
+
+class TestRendering:
+    def test_markdown_has_flow_rows_and_ordering(self, run):
+        _, run_dir, _ = run
+        text = render_markdown(build_report(run_dir))
+        assert "# repro compare report" in text
+        assert "| pinzoo_hostile@1 | pao " in text
+        assert "| pinzoo_hostile@1 | legacy " in text
+        assert "## Figure 8 ordering" in text
+        assert "status: **ok**" in text
+
+    def test_markdown_lists_failures(self, run, tmp_path):
+        _, run_dir, _ = run
+        goldens = str(tmp_path / "goldens")
+        write_goldens(build_report(run_dir), goldens)
+        path = golden_path(goldens, "pinzoo_hostile@1")
+        golden = _read_json(path)
+        golden["metrics"]["pao"]["routing.wirelength"] += 1
+        _write_json(path, golden)
+        text = render_markdown(build_report(run_dir, goldens_dir=goldens))
+        assert "## Failures" in text
+        assert "status: **regressed**" in text
+
+
+class TestCli:
+    def test_compare_report_cli(self, run, tmp_path, capsys):
+        from repro.cli import main
+
+        _, run_dir, _ = run
+        goldens = str(tmp_path / "g")
+        assert main(["compare", "report", run_dir, "--accept",
+                     "--goldens", goldens]) == 0
+        assert os.path.exists(golden_path(goldens, "pinzoo_hostile@1"))
+        json_out = str(tmp_path / "report.json")
+        assert main(["compare", "report", run_dir, "--goldens", goldens,
+                     "--fail-on-regress", "--json", json_out]) == 0
+        with open(json_out) as fh:
+            assert json.load(fh)["status"] == "ok"
+        capsys.readouterr()
+
+    def test_compare_report_cli_fails_on_regress(
+        self, run, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        _, run_dir, _ = run
+        goldens = str(tmp_path / "g")
+        assert main(["compare", "report", run_dir, "--accept",
+                     "--goldens", goldens]) == 0
+        path = golden_path(goldens, "pinzoo_hostile@1")
+        golden = _read_json(path)
+        golden["metrics"]["legacy"]["routing.wirelength"] = -1
+        _write_json(path, golden)
+        assert main(["compare", "report", run_dir, "--goldens", goldens,
+                     "--fail-on-regress"]) == 1
+        capsys.readouterr()

@@ -1,0 +1,170 @@
+"""The adversarial pin zoo: generation and access behavior."""
+
+import pytest
+
+from repro.bench import PINZOO_CASES, build_case, build_pinzoo
+from repro.core import PinAccessFramework
+from repro.route.drcu import drcu_access_map
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", PINZOO_CASES)
+    def test_deterministic(self, name):
+        first = build_pinzoo(name)
+        second = build_pinzoo(name)
+        assert first.stats() == second.stats()
+        assert sorted(first.instances) == sorted(second.instances)
+        assert sorted(first.nets) == sorted(second.nets)
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            build_pinzoo("pinzoo_nonsense")
+
+    def test_build_case_dispatches_zoo(self):
+        design = build_case("pinzoo_sram", scale=1.0)
+        assert design.name == "pinzoo_sram"
+
+    def test_build_case_still_dispatches_suite(self):
+        design = build_case("ispd18_test1", scale=0.002)
+        assert design.name == "ispd18_test1"
+
+    def test_scale_multiplies_population(self):
+        small = build_pinzoo("pinzoo_hostile", scale=1.0)
+        big = build_pinzoo("pinzoo_hostile", scale=2.0)
+        assert (
+            big.stats()["num_std_cells"] > small.stats()["num_std_cells"]
+        )
+
+
+class TestSramFamily:
+    @pytest.fixture(scope="class")
+    def sram(self):
+        return build_pinzoo("pinzoo_sram")
+
+    def test_has_macro_with_upper_metal_pins(self, sram):
+        macros = [
+            inst
+            for inst in sram.instances.values()
+            if inst.master.is_macro
+        ]
+        assert macros
+        layers = {
+            layer
+            for pin in macros[0].master.signal_pins()
+            for layer in pin.shapes
+        }
+        assert {"M3", "M4"} <= layers
+
+    def test_macro_pins_span_multiple_tracks(self, sram):
+        m3 = sram.tech.layer("M3")
+        macro = next(
+            inst.master
+            for inst in sram.instances.values()
+            if inst.master.is_macro
+        )
+        spans = [
+            rect.height
+            for pin in macro.signal_pins()
+            for rect in pin.shapes.get("M3", ())
+        ]
+        assert spans and all(span >= 3 * m3.pitch for span in spans)
+
+    def test_oracle_covers_macro_pins_cleanly(self, sram):
+        from repro.route.router import DetailedRouter, count_route_drcs
+
+        access = PinAccessFramework(sram).run().access_map()
+        result = DetailedRouter(sram).route(dict(access))
+        assert count_route_drcs(sram, result, scope="pin-access") == []
+
+
+class TestIoFamily:
+    @pytest.fixture(scope="class")
+    def io_design(self):
+        return build_pinzoo("pinzoo_io")
+
+    def test_io_pins_on_all_four_edges(self, io_design):
+        die = io_design.die_area
+        edges = set()
+        for pin in io_design.io_pins.values():
+            rect = pin.rect
+            if rect.xlo == die.xlo:
+                edges.add("left")
+            if rect.xhi == die.xhi:
+                edges.add("right")
+            if rect.ylo == die.ylo:
+                edges.add("bottom")
+            if rect.yhi == die.yhi:
+                edges.add("top")
+        assert edges == {"left", "right", "bottom", "top"}
+
+    def test_every_io_pin_is_on_a_net(self, io_design):
+        attached = {
+            name
+            for net in io_design.nets.values()
+            for name in net.io_pins
+        }
+        assert attached == set(io_design.io_pins)
+
+    def test_offgrid_centers_miss_tracks(self, io_design):
+        # At least some IO pin centers sit off every track of their
+        # layer -- the property that starves on-track-only access.
+        from repro.core.coords import track_patterns_for_axis
+
+        off_grid = 0
+        for pin in io_design.io_pins.values():
+            layer = io_design.tech.layer(pin.layer_name)
+            axis = "y" if layer.is_horizontal else "x"
+            patterns = track_patterns_for_axis(
+                io_design, io_design.tech, layer, axis
+            )
+            center = pin.rect.center
+            coord = center.y if axis == "y" else center.x
+            span_lo, span_hi = coord - 1, coord + 1
+            on_track = any(
+                coord in p.coords_in(span_lo, span_hi) for p in patterns
+            )
+            if not on_track:
+                off_grid += 1
+        assert off_grid > 0
+
+
+class TestHostileFamily:
+    @pytest.fixture(scope="class")
+    def hostile(self):
+        return build_pinzoo("pinzoo_hostile")
+
+    def test_covered_pin_fails_validation(self, hostile):
+        result = PinAccessFramework(hostile).run()
+        covered = [
+            (inst.name, "A")
+            for inst in hostile.instances.values()
+            if inst.master.name == "HOSTILE_COVERED"
+        ]
+        assert covered
+        access = result.access_map()
+        assert all(term not in access for term in covered)
+
+    def test_legacy_screen_accepts_covered_pin(self, hostile):
+        access = drcu_access_map(hostile)
+        covered = [
+            (inst.name, "A")
+            for inst in hostile.instances.values()
+            if inst.master.name == "HOSTILE_COVERED"
+        ]
+        assert any(term in access for term in covered)
+
+    def test_sliver_pin_has_few_access_points(self, hostile):
+        # The half-pitch sliver shape must starve the AP generator
+        # relative to the friendly full-width output pin on the same
+        # master, while still staying accessible.
+        result = PinAccessFramework(hostile).run()
+        checked = 0
+        for ua in result.unique_accesses:
+            if ua.unique_instance.master_name != "HOSTILE_SLIVER":
+                continue
+            sliver = ua.aps_by_pin.get("A", [])
+            friendly = ua.aps_by_pin.get("ZN", [])
+            assert sliver
+            assert len(sliver) < len(friendly)
+            checked += 1
+        assert checked

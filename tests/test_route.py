@@ -156,3 +156,135 @@ class TestExperiment3Shape:
         result = DetailedRouter(design).route(access, max_nets=1)
         with pytest.raises(ValueError):
             count_route_drcs(design, result, scope="everything")
+
+
+@pytest.fixture(scope="module")
+def small_env():
+    """A tiny case for failure-path tests (fast to re-route)."""
+    design = build_testcase("ispd18_test1", scale=0.002)
+    access = PinAccessFramework(design).run().access_map()
+    return design, access
+
+
+class TestRouterFailurePaths:
+    def test_fully_blocked_grid_connects_nothing(self, small_env):
+        design, access = small_env
+        grid = RoutingGrid(design)
+        for l in range(len(grid.layers)):
+            for i in range(len(grid.xs)):
+                for j in range(len(grid.ys)):
+                    grid.occupancy[(l, i, j)] = "__blocker__"
+        result = DetailedRouter(design, grid).route(access)
+        total_terms = sum(len(net.terms) for net in design.nets.values())
+        assert result.routed_nets == 0
+        assert result.wires == []
+        assert result.unconnected_terms == total_terms
+
+    def test_blocked_upper_layers_fail_nets(self, small_env):
+        # Terminals can still enter on M2 (level 0), but with every
+        # higher level foreign-occupied no i-changing move exists, so
+        # cross-column nets must fail -- and be reported as failed,
+        # not silently dropped.
+        design, access = small_env
+        grid = RoutingGrid(design)
+        for l in range(1, len(grid.layers)):
+            for i in range(len(grid.xs)):
+                for j in range(len(grid.ys)):
+                    grid.occupancy[(l, i, j)] = "__blocker__"
+        result = DetailedRouter(design, grid).route(access)
+        assert result.failed_nets
+        assert result.routed_nets + len(result.failed_nets) <= len(
+            design.nets
+        )
+
+    def test_empty_access_map_counts_every_terminal(self, small_env):
+        design, _ = small_env
+        result = DetailedRouter(design).route({})
+        total_terms = sum(len(net.terms) for net in design.nets.values())
+        assert result.unconnected_terms == total_terms
+        assert result.routed_nets == 0
+        assert result.vias == []
+
+    def test_missing_terminal_is_counted_not_fatal(self, small_env):
+        design, access = small_env
+        baseline = DetailedRouter(design).route(access)
+        assert baseline.unconnected_terms == 0
+        partial = dict(access)
+        victim = next(
+            term
+            for net in design.nets.values()
+            if len(net.terms) >= 2
+            for term in net.terms
+            if term in partial
+        )
+        del partial[victim]
+        result = DetailedRouter(design).route(partial)
+        assert result.unconnected_terms == 1
+
+    def test_max_nets_deterministic_across_runs(self, small_env):
+        design, access = small_env
+        first = DetailedRouter(design).route(access, max_nets=5)
+        second = DetailedRouter(design).route(access, max_nets=5)
+        assert first.wires == second.wires
+        assert first.vias == second.vias
+        assert first.total_wirelength == second.total_wirelength
+
+    def test_wirelength_of_via_only_result_is_zero(self):
+        from repro.route.router import RoutingResult
+
+        result = RoutingResult(vias=[("n1", "V12_simple", 0, 0)])
+        assert result.total_wirelength == 0
+        assert result.wires == []
+
+    def test_wirelength_counts_longest_side(self):
+        from repro.geom.rect import Rect
+        from repro.route.router import RoutingResult
+
+        result = RoutingResult(
+            wires=[("n1", "M2", Rect(0, 0, 70, 500))]
+        )
+        assert result.total_wirelength == 500
+
+
+class TestIoAccessParity:
+    @pytest.fixture(scope="class")
+    def io_env(self):
+        from repro.bench import build_case
+        from repro.core.ioaccess import IoPinAccess
+
+        design = build_case("pinzoo_io", scale=1.0)
+        access = PinAccessFramework(design).run().access_map()
+        io_aps = IoPinAccess(design).run()
+        io_map = {name: aps[0] for name, aps in io_aps.items() if aps}
+        return design, access, io_map
+
+    def test_default_taps_io_at_center(self, io_env):
+        design, access, _ = io_env
+        result = DetailedRouter(design).route(access)
+        assert result.unconnected_terms == 0
+
+    def test_io_access_map_drives_tap_points(self, io_env):
+        design, access, io_map = io_env
+        assert io_map  # the oracle covers the off-grid IO pins
+        result = DetailedRouter(design).route(access, io_access=io_map)
+        assert result.unconnected_terms == 0
+        assert result.routed_nets > 0
+
+    def test_missing_io_entry_counts_as_open(self, io_env):
+        design, access, _ = io_env
+        io_terms = sum(
+            len(net.io_pins) for net in design.nets.values()
+        )
+        assert io_terms > 0
+        result = DetailedRouter(design).route(access, io_access={})
+        assert result.unconnected_terms == io_terms
+
+    def test_legacy_io_map_misses_offgrid_pins(self, io_env):
+        from repro.route.drcu import drcu_io_access_map
+
+        design, _, pao_io = io_env
+        legacy_io = drcu_io_access_map(design)
+        # The zoo's off-grid IO pins have no on-track crossing: the
+        # naive strategy must cover strictly fewer pins than the
+        # validated coordinate ladder.
+        assert len(legacy_io) < len(pao_io)
